@@ -1,0 +1,130 @@
+// Command rush-experiments reproduces the paper's entire evaluation in
+// one run: it collects the longitudinal dataset, cross-validates the four
+// candidate models on both aggregation scopes (Figure 3), trains the
+// deployed predictors (full-data and PDPA's partial-data variant), runs
+// all five Table II experiments under both policies, and prints every
+// figure and table of Section VII.
+//
+// Usage:
+//
+//	rush-experiments                 # full evaluation (~2-4 minutes)
+//	rush-experiments -quick          # reduced campaign and trial count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rush/internal/core"
+	"rush/internal/experiments"
+	"rush/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rush-experiments: ")
+
+	days := flag.Int("days", 120, "collection campaign length in days")
+	trials := flag.Int("trials", experiments.DefaultTrials, "trials per policy per experiment")
+	seed := flag.Int64("seed", 42, "master seed")
+	quick := flag.Bool("quick", false, "shrink campaign and trials for a fast smoke run")
+	flag.Parse()
+	if *quick {
+		*days = 30
+		*trials = 2
+	}
+
+	start := time.Now()
+	fmt.Print(experiments.ReportTableI())
+	fmt.Println()
+
+	// Stage 1: longitudinal collection (Section III, Figure 1).
+	log.Printf("collecting %d-day campaign...", *days)
+	res, err := core.Collect(core.CollectConfig{Days: *days, Seed: *seed, Incident: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("collected %d samples", res.JobScope.Len())
+	fmt.Print(experiments.ReportFigure1(res.JobScope))
+	fmt.Println()
+
+	// Stage 2: model selection on both scopes (Section IV-A, Figure 3).
+	log.Print("cross-validating candidate models (job-node scope)...")
+	jobScores, err := core.CompareModels(res.JobScope, "job-nodes", *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Print("cross-validating candidate models (all-node scope)...")
+	allScores, err := core.CompareModels(res.AllScope, "all-nodes", *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.ReportFigure3(append(jobScores, allScores...)))
+	best, _ := core.SelectBest(jobScores)
+	fmt.Printf("selected model: %s (F1=%.3f)\n\n", best.Model, best.F1)
+
+	// Stage 3: deployed predictors. The paper deploys AdaBoost; PDPA
+	// uses a model trained only on the other four applications.
+	pred, err := core.TrainPredictor(res.JobScope, core.ModelAdaBoost, nil, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdpaSpec, _ := workload.SpecByName("PDPA")
+	pdpaPred, err := core.TrainPredictor(res.JobScope, core.ModelAdaBoost, pdpaSpec.TrainApps, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(experiments.ReportTableII())
+	fmt.Println()
+
+	// Stage 4: the five scheduling experiments (Section VII).
+	var all []*experiments.Comparison
+	for _, spec := range workload.TableII() {
+		p := pred
+		if len(spec.TrainApps) > 0 {
+			p = pdpaPred
+		}
+		log.Printf("running %s (%d paired trials)...", spec.Name, *trials)
+		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000, experiments.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, cmp)
+	}
+	byName := map[string]*experiments.Comparison{}
+	for _, cmp := range all {
+		byName[cmp.Experiment] = cmp
+	}
+
+	// Figures 5 and 4: variation counts.
+	adaa := byName["ADAA"]
+	fmt.Print(experiments.ReportVariation(adaa, experiments.BaselineStats(adaa.Baseline)))
+	fmt.Println()
+	for _, name := range []string{"ADPA", "PDPA"} {
+		cmp := byName[name]
+		fmt.Print(experiments.ReportVariation(cmp, experiments.BaselineStats(cmp.Baseline)))
+		fmt.Println()
+	}
+
+	// Figures 6 and 7: run-time distributions.
+	fmt.Print(experiments.ReportRunTimeDist(adaa))
+	fmt.Println()
+	fmt.Print(experiments.ReportRunTimeDist(byName["PDPA"]))
+	fmt.Println()
+
+	// Figures 8 and 9: scaling.
+	fmt.Print(experiments.ReportScalingDist(byName["WS"]))
+	fmt.Println()
+	fmt.Print(experiments.ReportMaxImprovement(byName["SS"]))
+	fmt.Println()
+
+	// Figures 10 and 11: makespan and wait times.
+	fmt.Print(experiments.ReportMakespan(all))
+	fmt.Println()
+	fmt.Print(experiments.ReportWaitTimes(adaa))
+
+	log.Printf("full evaluation finished in %v", time.Since(start).Round(time.Second))
+}

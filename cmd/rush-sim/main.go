@@ -1,0 +1,121 @@
+// Command rush-sim runs one Table II scheduling experiment under
+// FCFS+EASY, RUSH, or both, on the simulated 512-node pod with the
+// all-to-all noise job, and prints the evaluation metrics.
+//
+// Usage:
+//
+//	rush-sim -experiment ADAA -predictor predictor.json -trials 5 -seed 100
+//	rush-sim -experiment SS -policy baseline -trials 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rush/internal/core"
+	"rush/internal/experiments"
+	"rush/internal/sched"
+	"rush/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rush-sim: ")
+
+	expName := flag.String("experiment", "ADAA", "experiment: ADAA, ADPA, PDPA, WS, or SS")
+	policy := flag.String("policy", "both", "policy: baseline, rush, or both")
+	predPath := flag.String("predictor", "predictor.json", "trained predictor JSON (from rush-train)")
+	trials := flag.Int("trials", experiments.DefaultTrials, "trials per policy")
+	seed := flag.Int64("seed", 100, "base seed (trial i uses seed+i)")
+	delayLittle := flag.Bool("delay-on-little", false, "also delay on the little-variation class")
+	allNodes := flag.Bool("all-nodes-scope", false, "aggregate counters machine-wide at decision time")
+	sjf := flag.Bool("sjf", false, "use shortest-job-first queue ordering instead of FCFS")
+	backfill := flag.String("backfill", "easy", "backfill discipline: easy, none, or conservative")
+	tracePrefix := flag.String("trace", "", "write per-job traces to <prefix>-<policy>-<trial>.csv")
+	flag.Parse()
+
+	spec, err := workload.SpecByName(*expName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.Config{DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf}
+	switch *backfill {
+	case "easy":
+		cfg.Backfill = sched.EASYBackfill
+	case "none":
+		cfg.Backfill = sched.NoBackfill
+	case "conservative":
+		cfg.Backfill = sched.ConservativeBackfill
+	default:
+		log.Fatalf("unknown backfill mode %q", *backfill)
+	}
+
+	var pred *core.Predictor
+	if *policy != "baseline" {
+		blob, err := os.ReadFile(*predPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred, err = core.LoadPredictor(blob); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s predictor (training CV F1 %.3f)", pred.ModelName, pred.CVF1)
+	}
+
+	switch *policy {
+	case "both":
+		cmp, err := experiments.RunExperiment(spec, pred, *trials, *seed, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *tracePrefix != "" {
+			for i := range cmp.Baseline {
+				writeTrace(*tracePrefix, cmp.Baseline[i], i)
+				writeTrace(*tracePrefix, cmp.RUSH[i], i)
+			}
+		}
+		ref := experiments.BaselineStats(cmp.Baseline)
+		fmt.Print(experiments.ReportVariation(cmp, ref))
+		fmt.Print(experiments.ReportRunTimeDist(cmp))
+		if len(spec.NodeCounts) > 1 {
+			fmt.Print(experiments.ReportScalingDist(cmp))
+			fmt.Print(experiments.ReportMaxImprovement(cmp))
+		}
+		fmt.Print(experiments.ReportMakespan([]*experiments.Comparison{cmp}))
+		fmt.Print(experiments.ReportWaitTimes(cmp))
+	case "baseline", "rush":
+		pol := experiments.Baseline
+		if *policy == "rush" {
+			pol = experiments.RUSH
+		}
+		for i := 0; i < *trials; i++ {
+			tr, err := experiments.RunTrial(spec, pol, pred, *seed+int64(i), cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *tracePrefix != "" {
+				writeTrace(*tracePrefix, tr, i)
+			}
+			fmt.Printf("trial %d: policy=%s jobs=%d makespan=%.0fs evals=%d vetoes=%d\n",
+				i, tr.Policy, len(tr.Jobs), tr.Makespan, tr.GateEvaluations, tr.GateVetoes)
+		}
+	default:
+		log.Fatalf("unknown policy %q (want baseline, rush, or both)", *policy)
+	}
+}
+
+// writeTrace dumps one trial's per-job records as CSV.
+func writeTrace(prefix string, tr *experiments.Trial, trial int) {
+	path := fmt.Sprintf("%s-%s-%d.csv", prefix, tr.Policy, trial)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote trace %s", path)
+}

@@ -1,0 +1,108 @@
+// Command rush-train reproduces the model-selection and training stage
+// (Section IV-A): it cross-validates the four candidate classifiers with
+// leave-one-application-out folds (Figure 3), optionally runs recursive
+// feature elimination, trains the deployed three-class predictor, and
+// exports it as JSON for rush-sim.
+//
+// Usage:
+//
+//	rush-train -data jobscope.csv -compare -out predictor.json
+//	rush-train -data jobscope.csv -model AdaBoost -rfe -out predictor.json
+//	rush-train -data jobscope.csv -train-apps AMG,Kripke,sw4lite,SWFFT -out pdpa.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rush/internal/core"
+	"rush/internal/dataset"
+	"rush/internal/experiments"
+	"rush/internal/mlkit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rush-train: ")
+
+	dataPath := flag.String("data", "jobscope.csv", "training dataset CSV (from rush-collect)")
+	compare := flag.Bool("compare", false, "cross-validate all four candidate models (Figure 3)")
+	modelName := flag.String("model", "AdaBoost", "model to deploy: ExtraTrees, DecisionForest, KNN, or AdaBoost")
+	trainApps := flag.String("train-apps", "", "comma-separated apps to train on (empty = all; PDPA uses 4)")
+	rfe := flag.Bool("rfe", false, "run recursive feature elimination and report the trajectory")
+	temporal := flag.Bool("temporal", false, "run sliding train-on-past/test-on-future validation")
+	seed := flag.Int64("seed", 1, "training seed")
+	out := flag.String("out", "predictor.json", "output predictor JSON")
+	flag.Parse()
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d samples from %s", ds.Len(), *dataPath)
+
+	if *compare {
+		scores, err := core.CompareModels(ds, "job-nodes", *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.ReportFigure3(scores))
+		best, _ := core.SelectBest(scores)
+		fmt.Printf("best model: %s (F1=%.3f)\n", best.Model, best.F1)
+	}
+
+	if *rfe {
+		res, err := mlkit.RFE(func() mlkit.Classifier {
+			m, err := core.NewModel(core.ModelName(*modelName), *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return m
+		}, ds.X(), ds.BinaryLabels(), mlkit.RFEConfig{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("RFE: best F1 %.3f with %d features\n", res.BestF1, len(res.Selected))
+		for _, step := range res.Trajectory {
+			fmt.Printf("  %3d features -> F1 %.3f\n", step.NumFeatures, step.F1)
+		}
+	}
+
+	if *temporal {
+		folds, err := core.TemporalValidation(ds, core.ModelName(*modelName), 20, 10, 10, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("temporal validation (train on past, test on the next 10 days):")
+		for _, f := range folds {
+			fmt.Printf("  day %3.0f: train=%-4d test=%-3d F1=%.3f acc=%.3f\n",
+				f.TrainEndDay, f.TrainSamples, f.TestSamples, f.F1, f.Accuracy)
+		}
+	}
+
+	var appsList []string
+	if *trainApps != "" {
+		appsList = strings.Split(*trainApps, ",")
+	}
+	pred, err := core.TrainPredictor(ds, core.ModelName(*modelName), appsList, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := pred.Save()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %s predictor (stratified 5-fold F1 on variation class: %.3f) -> %s\n",
+		pred.ModelName, pred.CVF1, *out)
+}

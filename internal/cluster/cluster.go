@@ -1,0 +1,197 @@
+// Package cluster models the machine RUSH schedules onto: a fat-tree
+// cluster divided into pods (the unit of network locality) with a node
+// allocator that tracks which nodes are busy.
+//
+// The reference configuration mirrors LLNL's Quartz: 2,988 dual-socket
+// nodes with 36 cores each on a two-level fat tree. The paper's scheduling
+// experiments run inside a single 512-node pod; Pod512 builds that
+// configuration directly.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a compute node. IDs are dense, starting at zero.
+type NodeID int
+
+// Topology describes the static shape of the machine.
+type Topology struct {
+	// Nodes is the total node count.
+	Nodes int
+	// PodSize is the number of nodes per fat-tree pod. Traffic within a
+	// pod shares that pod's leaf/aggregation links; the global filesystem
+	// is shared machine-wide.
+	PodSize int
+	// CoresPerNode is used to translate node counts into process counts.
+	CoresPerNode int
+}
+
+// Quartz returns the full-machine reference topology.
+func Quartz() Topology {
+	return Topology{Nodes: 2988, PodSize: 192, CoresPerNode: 36}
+}
+
+// Pod512 returns the single-pod, 512-node reservation used by the paper's
+// scheduling experiments. All nodes share one pod, so one hot spot is
+// visible to every job, as on the real reservation.
+func Pod512() Topology {
+	return Topology{Nodes: 512, PodSize: 512, CoresPerNode: 36}
+}
+
+// Validate reports whether the topology is internally consistent.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.PodSize <= 0 || t.CoresPerNode <= 0 {
+		return fmt.Errorf("cluster: non-positive topology field: %+v", t)
+	}
+	if t.PodSize > t.Nodes {
+		return fmt.Errorf("cluster: pod size %d exceeds node count %d", t.PodSize, t.Nodes)
+	}
+	return nil
+}
+
+// Pods returns the number of pods (the last pod may be partial).
+func (t Topology) Pods() int {
+	return (t.Nodes + t.PodSize - 1) / t.PodSize
+}
+
+// PodOf returns the pod index of node n.
+func (t Topology) PodOf(n NodeID) int {
+	return int(n) / t.PodSize
+}
+
+// Allocation is a set of nodes granted to one job.
+type Allocation struct {
+	Nodes []NodeID
+}
+
+// Pods returns the distinct pods the allocation touches, in ascending
+// order.
+func (a Allocation) Pods(t Topology) []int {
+	seen := map[int]bool{}
+	var pods []int
+	for _, n := range a.Nodes {
+		p := t.PodOf(n)
+		if !seen[p] {
+			seen[p] = true
+			pods = append(pods, p)
+		}
+	}
+	sort.Ints(pods)
+	return pods
+}
+
+// Allocator hands out nodes to jobs. It is not safe for concurrent use;
+// the discrete-event simulator is single-threaded by design.
+type Allocator struct {
+	topo Topology
+	free []bool // free[i] == true when node i is available
+	used int
+}
+
+// NewAllocator returns an allocator with every node free.
+func NewAllocator(topo Topology) *Allocator {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	free := make([]bool, topo.Nodes)
+	for i := range free {
+		free[i] = true
+	}
+	return &Allocator{topo: topo, free: free}
+}
+
+// Topology returns the allocator's topology.
+func (a *Allocator) Topology() Topology { return a.topo }
+
+// FreeCount returns the number of currently free nodes.
+func (a *Allocator) FreeCount() int { return a.topo.Nodes - a.used }
+
+// UsedCount returns the number of currently allocated nodes.
+func (a *Allocator) UsedCount() int { return a.used }
+
+// CanAlloc reports whether n nodes are currently available.
+func (a *Allocator) CanAlloc(n int) bool {
+	return n > 0 && n <= a.FreeCount()
+}
+
+// Alloc grants n nodes, preferring to pack an allocation into as few pods
+// as possible (pods with the most free nodes first), matching the
+// locality-seeking behaviour of real fat-tree schedulers. It returns an
+// error when not enough nodes are free.
+func (a *Allocator) Alloc(n int) (Allocation, error) {
+	if n <= 0 {
+		return Allocation{}, fmt.Errorf("cluster: invalid allocation size %d", n)
+	}
+	if !a.CanAlloc(n) {
+		return Allocation{}, fmt.Errorf("cluster: want %d nodes, only %d free", n, a.FreeCount())
+	}
+	// Count free nodes per pod, then fill from the emptiest pods.
+	pods := a.topo.Pods()
+	freeByPod := make([]int, pods)
+	for i, f := range a.free {
+		if f {
+			freeByPod[a.topo.PodOf(NodeID(i))]++
+		}
+	}
+	order := make([]int, pods)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return freeByPod[order[x]] > freeByPod[order[y]]
+	})
+
+	nodes := make([]NodeID, 0, n)
+	for _, p := range order {
+		if len(nodes) == n {
+			break
+		}
+		lo := p * a.topo.PodSize
+		hi := lo + a.topo.PodSize
+		if hi > a.topo.Nodes {
+			hi = a.topo.Nodes
+		}
+		for i := lo; i < hi && len(nodes) < n; i++ {
+			if a.free[i] {
+				a.free[i] = false
+				a.used++
+				nodes = append(nodes, NodeID(i))
+			}
+		}
+	}
+	if len(nodes) != n {
+		// Unreachable given the CanAlloc guard, but fail loudly if the
+		// bookkeeping ever drifts.
+		panic(fmt.Sprintf("cluster: allocator bookkeeping drift: wanted %d, got %d", n, len(nodes)))
+	}
+	return Allocation{Nodes: nodes}, nil
+}
+
+// Free returns an allocation's nodes to the pool. Freeing a node that is
+// not allocated panics: it means a job was double-freed.
+func (a *Allocator) Free(alloc Allocation) {
+	for _, n := range alloc.Nodes {
+		if n < 0 || int(n) >= a.topo.Nodes {
+			panic(fmt.Sprintf("cluster: free of out-of-range node %d", n))
+		}
+		if a.free[n] {
+			panic(fmt.Sprintf("cluster: double free of node %d", n))
+		}
+		a.free[n] = true
+		a.used--
+	}
+}
+
+// FreeNodes returns the IDs of all currently free nodes in ascending
+// order. It is used by telemetry scopes and by tests.
+func (a *Allocator) FreeNodes() []NodeID {
+	var out []NodeID
+	for i, f := range a.free {
+		if f {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}

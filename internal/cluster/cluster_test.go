@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	if err := Quartz().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Pod512().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Topology{
+		{Nodes: 0, PodSize: 1, CoresPerNode: 1},
+		{Nodes: 10, PodSize: 0, CoresPerNode: 1},
+		{Nodes: 10, PodSize: 20, CoresPerNode: 1},
+		{Nodes: 10, PodSize: 2, CoresPerNode: 0},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("topology %+v should be invalid", b)
+		}
+	}
+}
+
+func TestPodMath(t *testing.T) {
+	topo := Topology{Nodes: 100, PodSize: 32, CoresPerNode: 4}
+	if got := topo.Pods(); got != 4 {
+		t.Fatalf("pods = %d, want 4", got)
+	}
+	if topo.PodOf(0) != 0 || topo.PodOf(31) != 0 || topo.PodOf(32) != 1 || topo.PodOf(99) != 3 {
+		t.Fatal("PodOf mapping wrong")
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := NewAllocator(Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4})
+	alloc, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Nodes) != 16 {
+		t.Fatalf("allocated %d nodes", len(alloc.Nodes))
+	}
+	if a.FreeCount() != 48 || a.UsedCount() != 16 {
+		t.Fatalf("counts wrong: free=%d used=%d", a.FreeCount(), a.UsedCount())
+	}
+	a.Free(alloc)
+	if a.FreeCount() != 64 || a.UsedCount() != 0 {
+		t.Fatalf("counts after free wrong: free=%d used=%d", a.FreeCount(), a.UsedCount())
+	}
+}
+
+func TestAllocPacksIntoOnePod(t *testing.T) {
+	topo := Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4}
+	a := NewAllocator(topo)
+	alloc, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pods := alloc.Pods(topo); len(pods) != 1 {
+		t.Fatalf("16-node alloc should fit one 16-node pod, got pods %v", pods)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := NewAllocator(Topology{Nodes: 8, PodSize: 8, CoresPerNode: 1})
+	if _, err := a.Alloc(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("allocation from an empty pool should fail")
+	}
+	if a.CanAlloc(1) {
+		t.Fatal("CanAlloc should be false when pool is empty")
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	a := NewAllocator(Pod512())
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) should fail")
+	}
+	if _, err := a.Alloc(-3); err == nil {
+		t.Fatal("Alloc(-3) should fail")
+	}
+	if _, err := a.Alloc(513); err == nil {
+		t.Fatal("oversized alloc should fail")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(Pod512())
+	alloc, _ := a.Alloc(4)
+	a.Free(alloc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	a.Free(alloc)
+}
+
+// Property: any interleaving of allocs and frees never double-books a
+// node, and counts stay consistent.
+func TestAllocatorNeverDoubleBooks(t *testing.T) {
+	f := func(ops []uint8) bool {
+		topo := Topology{Nodes: 48, PodSize: 16, CoresPerNode: 4}
+		a := NewAllocator(topo)
+		var live []Allocation
+		owned := map[NodeID]bool{}
+		for _, op := range ops {
+			n := int(op%8) + 1
+			if op%2 == 0 && a.CanAlloc(n) {
+				alloc, err := a.Alloc(n)
+				if err != nil {
+					return false
+				}
+				for _, node := range alloc.Nodes {
+					if owned[node] {
+						return false // double-booked
+					}
+					owned[node] = true
+				}
+				live = append(live, alloc)
+			} else if len(live) > 0 {
+				alloc := live[0]
+				live = live[1:]
+				for _, node := range alloc.Nodes {
+					delete(owned, node)
+				}
+				a.Free(alloc)
+			}
+			if a.UsedCount() != len(owned) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeNodesSortedAndComplete(t *testing.T) {
+	a := NewAllocator(Topology{Nodes: 10, PodSize: 5, CoresPerNode: 1})
+	alloc, _ := a.Alloc(3)
+	free := a.FreeNodes()
+	if len(free) != 7 {
+		t.Fatalf("free list has %d nodes, want 7", len(free))
+	}
+	for i := 1; i < len(free); i++ {
+		if free[i] <= free[i-1] {
+			t.Fatal("free list not sorted")
+		}
+	}
+	a.Free(alloc)
+	if len(a.FreeNodes()) != 10 {
+		t.Fatal("free list incomplete after free")
+	}
+}
+
+func TestAllocationPods(t *testing.T) {
+	topo := Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4}
+	alloc := Allocation{Nodes: []NodeID{0, 15, 16, 63}}
+	pods := alloc.Pods(topo)
+	want := []int{0, 1, 3}
+	if len(pods) != len(want) {
+		t.Fatalf("pods = %v", pods)
+	}
+	for i := range want {
+		if pods[i] != want[i] {
+			t.Fatalf("pods = %v, want %v", pods, want)
+		}
+	}
+}

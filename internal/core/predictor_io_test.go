@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPredictorSaveLoad(t *testing.T) {
+	res := campaign(t)
+	p, err := TrainPredictor(res.JobScope, ModelAdaBoost, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ModelName != p.ModelName || loaded.CVF1 != p.CVF1 {
+		t.Fatal("metadata lost in round trip")
+	}
+	if len(loaded.Stats) != len(p.Stats) {
+		t.Fatal("stats lost in round trip")
+	}
+	for _, s := range res.JobScope.Samples[:30] {
+		if loaded.Model.Predict(s.Features) != p.Model.Predict(s.Features) {
+			t.Fatal("model predictions changed after round trip")
+		}
+	}
+}
+
+func TestPredictorSaveLoadErrors(t *testing.T) {
+	p := &Predictor{}
+	if _, err := p.Save(); err == nil {
+		t.Fatal("saving an empty predictor should error")
+	}
+	if _, err := LoadPredictor([]byte("junk")); err == nil {
+		t.Fatal("loading junk should error")
+	}
+	if _, err := LoadPredictor([]byte(`{"model_name":"AdaBoost","model":{"kind":"alien"}}`)); err == nil {
+		t.Fatal("loading an unknown model kind should error")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rush/internal/dataset"
+	"rush/internal/mlkit"
+)
+
+// Temporal validation: random k-fold cross-validation can leak
+// information across time (a model tested on samples that interleave its
+// training period looks better than one deployed on the future). For a
+// predictor that will run inside a scheduler, the honest protocol is
+// train-on-the-past, test-on-the-future. TemporalValidation slides such
+// a split across the campaign.
+
+// TemporalFold is one train-on-past / test-on-future evaluation.
+type TemporalFold struct {
+	// TrainEndDay is the boundary: training samples start before it,
+	// test samples start within [TrainEndDay, TrainEndDay+TestDays).
+	TrainEndDay float64
+	// TestDays is the length of the evaluation window.
+	TestDays float64
+	// TrainSamples and TestSamples count the split sizes.
+	TrainSamples int
+	TestSamples  int
+	// F1 is the variation-class F1 on the future window.
+	F1 float64
+	// Accuracy on the future window.
+	Accuracy float64
+}
+
+// TemporalValidation trains the named model on all samples before each
+// boundary and evaluates on the following testDays, sliding the boundary
+// by stepDays from minTrainDays to the end of the campaign. Labels use
+// the training split's per-app statistics only — the future must not
+// inform its own labels.
+func TemporalValidation(ds *dataset.Dataset, name ModelName, minTrainDays, testDays, stepDays float64, seed int64) ([]TemporalFold, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if minTrainDays <= 0 || testDays <= 0 || stepDays <= 0 {
+		return nil, fmt.Errorf("core: non-positive temporal-validation windows")
+	}
+	if _, err := NewModel(name, seed); err != nil {
+		return nil, err
+	}
+	// Order samples by start time.
+	samples := append([]dataset.Sample(nil), ds.Samples...)
+	sort.Slice(samples, func(i, j int) bool { return samples[i].StartTime < samples[j].StartTime })
+	lastDay := samples[len(samples)-1].StartTime / Day
+
+	var folds []TemporalFold
+	for boundary := minTrainDays; boundary+testDays <= lastDay+1; boundary += stepDays {
+		train := &dataset.Dataset{}
+		test := &dataset.Dataset{}
+		for _, s := range samples {
+			day := s.StartTime / Day
+			switch {
+			case day < boundary:
+				train.Samples = append(train.Samples, s)
+			case day < boundary+testDays:
+				test.Samples = append(test.Samples, s)
+			}
+		}
+		if train.Len() < 50 || test.Len() < 10 {
+			continue
+		}
+		// Train labels from the training period's own statistics;
+		// test labels against those same (past) statistics.
+		trainStats := train.Stats()
+		yTrain := train.BinaryLabels()
+		if countPositives(yTrain) < 3 {
+			continue // nothing to learn yet
+		}
+		yTest := make([]int, test.Len())
+		for i, s := range test.Samples {
+			if dataset.LabelWith(trainStats, s.App, s.RunTime) == dataset.LabelVariation {
+				yTest[i] = 1
+			}
+		}
+		m, err := NewModel(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(train.X(), yTrain); err != nil {
+			return nil, fmt.Errorf("core: temporal fold at day %.0f: %w", boundary, err)
+		}
+		pred := mlkit.PredictBatch(m, test.X())
+		folds = append(folds, TemporalFold{
+			TrainEndDay:  boundary,
+			TestDays:     testDays,
+			TrainSamples: train.Len(),
+			TestSamples:  test.Len(),
+			F1:           mlkit.F1Score(yTest, pred, 1),
+			Accuracy:     mlkit.Accuracy(yTest, pred),
+		})
+	}
+	if len(folds) == 0 {
+		return nil, fmt.Errorf("core: campaign too short for temporal validation")
+	}
+	return folds, nil
+}
+
+func countPositives(y []int) int {
+	n := 0
+	for _, v := range y {
+		if v == 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTemporalValidation(t *testing.T) {
+	res := campaign(t) // 25 days
+	folds, err := TemporalValidation(res.JobScope, ModelDecisionForest, 10, 5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) < 2 {
+		t.Fatalf("expected several folds on a 25-day campaign, got %d", len(folds))
+	}
+	for i, f := range folds {
+		if f.TrainSamples < 50 || f.TestSamples < 10 {
+			t.Fatalf("fold %d split too small: %+v", i, f)
+		}
+		if f.Accuracy < 0.8 {
+			t.Fatalf("fold %d accuracy %v implausibly low", i, f.Accuracy)
+		}
+		if i > 0 && folds[i].TrainEndDay <= folds[i-1].TrainEndDay {
+			t.Fatal("boundaries must advance")
+		}
+		if folds[i].TrainSamples <= 0 {
+			t.Fatal("train set must grow over time")
+		}
+	}
+	// Later folds train on strictly more data.
+	if folds[len(folds)-1].TrainSamples <= folds[0].TrainSamples {
+		t.Fatal("training set should grow as the boundary advances")
+	}
+}
+
+func TestTemporalValidationErrors(t *testing.T) {
+	res := campaign(t)
+	if _, err := TemporalValidation(res.JobScope, ModelAdaBoost, 0, 5, 5, 1); err == nil {
+		t.Fatal("zero window should error")
+	}
+	if _, err := TemporalValidation(res.JobScope, "bogus", 10, 5, 5, 1); err == nil {
+		t.Fatal("unknown model should error")
+	}
+	if _, err := TemporalValidation(res.JobScope, ModelAdaBoost, 1000, 5, 5, 1); err == nil {
+		t.Fatal("campaign shorter than the first boundary should error")
+	}
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rush/internal/apps"
+)
+
+// CSV layout: app, class, nodes, start, runtime, then the 282 features in
+// FeatureNames order. This is the on-disk interchange format between the
+// collection, training, and scheduling binaries.
+
+var metaColumns = []string{"app", "class", "nodes", "start", "runtime"}
+
+// WriteCSV serializes the dataset.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, metaColumns...), FeatureNames()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, s := range d.Samples {
+		row[0] = s.App
+		row[1] = s.Class.String()
+		row[2] = strconv.Itoa(s.Nodes)
+		row[3] = strconv.FormatFloat(s.StartTime, 'g', -1, 64)
+		row[4] = strconv.FormatFloat(s.RunTime, 'g', -1, 64)
+		for i, f := range s.Features {
+			row[5+i] = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV, validating the header.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	want := append(append([]string{}, metaColumns...), FeatureNames()...)
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	d := &Dataset{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		s := Sample{App: rec[0]}
+		switch rec[1] {
+		case "compute":
+			s.Class = apps.ComputeIntensive
+		case "network":
+			s.Class = apps.NetworkIntensive
+		case "io":
+			s.Class = apps.IOIntensive
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[1])
+		}
+		if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: nodes: %w", line, err)
+		}
+		if s.StartTime, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: start: %w", line, err)
+		}
+		if s.RunTime, err = strconv.ParseFloat(rec[4], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: runtime: %w", line, err)
+		}
+		s.Features = make([]float64, NumFeatures)
+		for i := range s.Features {
+			if s.Features[i], err = strconv.ParseFloat(rec[5+i], 64); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: feature %d: %w", line, i, err)
+			}
+		}
+		if err := d.Add(s); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,243 @@
+// Package experiments reproduces the paper's evaluation (Section VI): it
+// runs Table II workloads on a 512-node pod with an all-to-all noise job
+// on 1/16 of the nodes, under FCFS+EASY and under RUSH, for several
+// paired trials, and computes the metrics behind every results figure —
+// per-app variation counts (Figs 4, 5), run-time distributions (Figs 6-8),
+// max-run-time improvement (Fig 9), makespan (Fig 10), and per-app wait
+// times (Fig 11).
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/core"
+	"rush/internal/machine"
+	"rush/internal/sched"
+	"rush/internal/sim"
+	"rush/internal/workload"
+)
+
+// Policy names the two compared schedulers.
+type Policy string
+
+// The scheduling policies of the evaluation. Baseline and RUSH are the
+// paper's pair; Canary is the heuristic probe-threshold gate included as
+// an extra comparison point.
+const (
+	Baseline Policy = "FCFS+EASY"
+	RUSH     Policy = "RUSH"
+	Canary   Policy = "Canary"
+)
+
+// Config controls the experiment environment.
+type Config struct {
+	// Topo is the reservation (default cluster.Pod512, as in the paper).
+	Topo cluster.Topology
+	// Noise configures the all-to-all noise job (default
+	// apps.DefaultNoise).
+	Noise apps.Noise
+	// DelayOnLittle also delays jobs when the model predicts the
+	// "little variation" class, not just "variation" (ablation knob).
+	DelayOnLittle bool
+	// AllNodesScope makes RUSH aggregate counters machine-wide instead
+	// of over the job's tentative nodes (ablation knob).
+	AllNodesScope bool
+	// UseSJF replaces the FCFS main-queue and backfill orderings with
+	// shortest-job-first — the paper notes RUSH composes with any static
+	// queue-ordering policy (ablation knob).
+	UseSJF bool
+	// Backfill selects the backfilling discipline (default EASY, as in
+	// the paper; NoBackfill and ConservativeBackfill are ablations).
+	Backfill sched.BackfillMode
+	// ProbThreshold switches the RUSH gate to the probability rule: jobs
+	// are delayed when the model's variation-class probability mass
+	// exceeds this value (0 keeps the paper's hard label rule).
+	ProbThreshold float64
+	// CanaryThreshold overrides the Canary policy's probe-slowdown
+	// threshold (0 keeps its default).
+	CanaryThreshold float64
+	// MaxSimTime aborts a trial that fails to drain (safety net;
+	// default 6 hours of simulated time).
+	MaxSimTime float64
+}
+
+func (c *Config) fill() {
+	if c.Topo.Nodes == 0 {
+		c.Topo = cluster.Pod512()
+	}
+	if c.Noise == (apps.Noise{}) {
+		c.Noise = apps.DefaultNoise()
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 6 * 3600
+	}
+}
+
+// JobRecord is one job's outcome within a trial.
+type JobRecord struct {
+	ID        int
+	App       string
+	Nodes     int
+	Submit    float64
+	Start     float64
+	End       float64
+	Wait      float64
+	RunTime   float64
+	Skips     int
+	Immediate bool // submitted at t=0 (Fig 11 excludes these)
+}
+
+// Trial is one full workload execution under one policy.
+type Trial struct {
+	Experiment string
+	Policy     Policy
+	Seed       int64
+	Jobs       []JobRecord
+	// Makespan is the duration from first submission to last completion.
+	Makespan float64
+	// GateEvaluations / GateVetoes / ThresholdOverrides report RUSH gate
+	// activity (zero under the baseline).
+	GateEvaluations    int
+	GateVetoes         int
+	ThresholdOverrides int
+}
+
+// RunTrial executes spec once under the given policy. The same seed
+// yields the same workload and noise trace for both policies, making
+// baseline/RUSH comparisons paired.
+func RunTrial(spec workload.Spec, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
+	jobs, err := workload.Generate(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunTrialJobs(spec.Name, jobs, policy, pred, seed, cfg)
+}
+
+// RunTrialJobs executes an arbitrary job stream (e.g. one replayed from
+// an SWF trace via workload.FromSWF) under the given policy.
+func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
+	cfg.fill()
+	eng := sim.New(seed)
+	m := machine.New(eng, cfg.Topo)
+	noise, err := m.StartNoise(cfg.Noise)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	var gate sched.Gate = sched.AlwaysStart{}
+	var rushGate *sched.RUSH
+	var canaryGate *sched.Canary
+	switch policy {
+	case RUSH:
+		if pred == nil || pred.Model == nil {
+			return nil, fmt.Errorf("experiments: RUSH policy requires a trained predictor")
+		}
+		rushGate = sched.NewRUSH(m, pred.Model)
+		rushGate.AllNodesScope = cfg.AllNodesScope
+		rushGate.ProbThreshold = cfg.ProbThreshold
+		if cfg.DelayOnLittle {
+			rushGate.VariationLabels[1] = true // dataset.LabelLittle
+		}
+		gate = rushGate
+	case Canary:
+		canaryGate = sched.NewCanary(m)
+		if cfg.CanaryThreshold > 0 {
+			canaryGate.SlowdownThreshold = cfg.CanaryThreshold
+		}
+		gate = canaryGate
+	}
+	var r1, r2 sched.Policy = sched.FCFS{}, sched.FCFS{}
+	if cfg.UseSJF {
+		r1, r2 = sched.SJF{}, sched.SJF{}
+	}
+	s := sched.New(m, r1, r2, gate)
+	s.Backfill = cfg.Backfill
+
+	immediate := map[int]bool{}
+	for _, sj := range jobs {
+		sj := sj
+		immediate[sj.Job.ID] = sj.SubmitAt == 0
+		eng.At(sj.SubmitAt, func() { s.Submit(sj.Job) })
+	}
+
+	// Drain the workload. The noise job schedules phase events forever,
+	// so run step-by-step until every job has completed.
+	for len(s.Completed()) < len(jobs) {
+		if eng.Now() > cfg.MaxSimTime {
+			return nil, fmt.Errorf("experiments: trial exceeded %v simulated seconds (%d/%d jobs done)",
+				cfg.MaxSimTime, len(s.Completed()), len(jobs))
+		}
+		if !eng.Step() {
+			return nil, fmt.Errorf("experiments: event queue drained with %d/%d jobs incomplete",
+				len(s.Completed()), len(jobs))
+		}
+	}
+	noise.Stop()
+
+	tr := &Trial{Experiment: name, Policy: policy, Seed: seed}
+	var lastEnd float64
+	for _, j := range s.Completed() {
+		rec := JobRecord{
+			ID: j.ID, App: j.App.Name, Nodes: j.Nodes,
+			Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
+			Wait: j.WaitTime(), RunTime: j.RunTime(), Skips: j.Skips,
+			Immediate: immediate[j.ID],
+		}
+		if math.IsNaN(rec.RunTime) || rec.RunTime <= 0 {
+			return nil, fmt.Errorf("experiments: job %d has invalid run time", j.ID)
+		}
+		tr.Jobs = append(tr.Jobs, rec)
+		if j.EndTime > lastEnd {
+			lastEnd = j.EndTime
+		}
+	}
+	tr.Makespan = lastEnd // first submission is at t = 0
+	if rushGate != nil {
+		tr.GateEvaluations = rushGate.Evaluations
+		tr.GateVetoes = rushGate.Vetoes
+		tr.ThresholdOverrides = rushGate.ThresholdOverrides
+	}
+	if canaryGate != nil {
+		tr.GateEvaluations = canaryGate.Evaluations
+		tr.GateVetoes = canaryGate.Vetoes
+		tr.ThresholdOverrides = canaryGate.ThresholdOverrides
+	}
+	return tr, nil
+}
+
+// Comparison holds the paired trials of one experiment.
+type Comparison struct {
+	Experiment string
+	Spec       workload.Spec
+	Baseline   []*Trial
+	RUSH       []*Trial
+}
+
+// DefaultTrials is the paper's per-policy repetition count.
+const DefaultTrials = 5
+
+// RunExperiment runs spec trials times under each policy with paired
+// seeds (baseSeed+i) and returns the comparison.
+func RunExperiment(spec workload.Spec, pred *core.Predictor, trials int, baseSeed int64, cfg Config) (*Comparison, error) {
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	cmp := &Comparison{Experiment: spec.Name, Spec: spec}
+	for i := 0; i < trials; i++ {
+		seed := baseSeed + int64(i)
+		b, err := RunTrial(spec, Baseline, pred, seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s baseline trial %d: %w", spec.Name, i, err)
+		}
+		r, err := RunTrial(spec, RUSH, pred, seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s RUSH trial %d: %w", spec.Name, i, err)
+		}
+		cmp.Baseline = append(cmp.Baseline, b)
+		cmp.RUSH = append(cmp.RUSH, r)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rush/internal/cluster"
+	"rush/internal/core"
+	"rush/internal/dataset"
+	"rush/internal/telemetry"
+	"rush/internal/workload"
+)
+
+// This file renders each paper figure/table as a plain-text report. The
+// same renderers back cmd/rush-experiments and the repository's benchmark
+// harness, so `go test -bench .` regenerates every row the paper plots.
+
+// ReportFigure1 renders the longitudinal variability study: per
+// application, the mean and maximum run time relative to the app's
+// minimum, bucketed by week — the view in which the paper's mid-December
+// contention spike is visible.
+func ReportFigure1(ds *dataset.Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: run time relative to per-app minimum, by week\n")
+	st := ds.Stats()
+	apps := make([]string, 0, len(st))
+	for app := range st {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+
+	// Bucket by week of campaign time.
+	week := func(t float64) int { return int(t / (7 * core.Day)) }
+	maxWeek := 0
+	for _, s := range ds.Samples {
+		if w := week(s.StartTime); w > maxWeek {
+			maxWeek = w
+		}
+	}
+	for _, app := range apps {
+		min := st[app].Min
+		sums := make([]float64, maxWeek+1)
+		maxs := make([]float64, maxWeek+1)
+		ns := make([]int, maxWeek+1)
+		for _, s := range ds.Samples {
+			if s.App != app {
+				continue
+			}
+			w := week(s.StartTime)
+			rel := s.RunTime / min
+			sums[w] += rel
+			ns[w]++
+			if rel > maxs[w] {
+				maxs[w] = rel
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s", app)
+		for w := 0; w <= maxWeek; w++ {
+			if ns[w] == 0 {
+				fmt.Fprintf(&b, "    -  ")
+				continue
+			}
+			fmt.Fprintf(&b, " %5.2f", sums[w]/float64(ns[w]))
+		}
+		fmt.Fprintf(&b, "   (peak %.2fx)\n", maxFloat(maxs))
+	}
+	return b.String()
+}
+
+func maxFloat(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ReportTableI renders the dataset inventory.
+func ReportTableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: dataset feature inventory\n")
+	counts := map[string]int{}
+	for _, c := range telemetry.Schema() {
+		counts[c.Table]++
+	}
+	for _, table := range []string{"sysclassib", "opa_info", "lustre_client"} {
+		fmt.Fprintf(&b, "  %-14s %3d counters -> %3d features\n", table, counts[table], 3*counts[table])
+	}
+	fmt.Fprintf(&b, "  %-14s %3d ops      -> %3d features\n", "MPI benchmarks", 3, 9)
+	fmt.Fprintf(&b, "  %-14s              -> %3d features (one-hot type)\n", "proxy apps", 3)
+	fmt.Fprintf(&b, "  total features: %d\n", dataset.NumFeatures)
+	return b.String()
+}
+
+// ReportFigure3 renders the model-selection comparison.
+func ReportFigure3(scores []core.ModelScore) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: binary variation-prediction F1 (leave-one-app-out CV)\n")
+	for _, s := range scores {
+		fmt.Fprintf(&b, "  %-15s %-10s F1=%.3f accuracy=%.3f\n", s.Model, s.Scope, s.F1, s.Accuracy)
+	}
+	return b.String()
+}
+
+// ReportTableII renders the experiment definitions.
+func ReportTableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: scheduling experiments (512-node pod, noise on 1/16 nodes)\n")
+	for _, s := range workload.TableII() {
+		fmt.Fprintf(&b, "  %-4s jobs=%-3d apps=%-60s %s\n",
+			s.Name, s.NumJobs, strings.Join(s.RunApps, ","), s.Description)
+	}
+	return b.String()
+}
+
+// ReportVariation renders per-app variation counts for one comparison
+// (Figure 5 for ADAA; each panel of Figure 4 for ADPA/PDPA).
+func ReportVariation(cmp *Comparison, ref map[string]dataset.AppStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: mean runs with significant variation per trial (z >= %.1f)\n",
+		cmp.Experiment, dataset.VariationSigma)
+	bv := MeanVariationCounts(cmp.Baseline, ref)
+	rv := MeanVariationCounts(cmp.RUSH, ref)
+	for _, app := range AppsIn(cmp.Baseline) {
+		fmt.Fprintf(&b, "  %-8s FCFS+EASY=%.1f  RUSH=%.1f\n", app, bv[app], rv[app])
+	}
+	fmt.Fprintf(&b, "  TOTAL    FCFS+EASY=%.1f  RUSH=%.1f\n",
+		TotalVariation(cmp.Baseline, ref), TotalVariation(cmp.RUSH, ref))
+	return b.String()
+}
+
+// ReportRunTimeDist renders per-app run-time distributions under both
+// policies (Figures 6 and 7).
+func ReportRunTimeDist(cmp *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: run-time distributions (seconds)\n", cmp.Experiment)
+	bs := SummaryByApp(cmp.Baseline)
+	rs := SummaryByApp(cmp.RUSH)
+	for _, app := range AppsIn(cmp.Baseline) {
+		fb, fr := bs[app], rs[app]
+		fmt.Fprintf(&b, "  %-8s FCFS+EASY min=%.0f med=%.0f p75=%.0f max=%.0f | RUSH min=%.0f med=%.0f p75=%.0f max=%.0f\n",
+			app, fb.Min, fb.Median, fb.P75, fb.Max, fr.Min, fr.Median, fr.P75, fr.Max)
+	}
+	return b.String()
+}
+
+// ReportScalingDist renders run-time distributions per (app, node count)
+// (Figure 8).
+func ReportScalingDist(cmp *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: run-time ranges by node count (seconds)\n", cmp.Experiment)
+	bd := RunTimesByAppNodes(cmp.Baseline)
+	rd := RunTimesByAppNodes(cmp.RUSH)
+	for _, app := range AppsIn(cmp.Baseline) {
+		nodeCounts := make([]int, 0, len(bd[app]))
+		for n := range bd[app] {
+			nodeCounts = append(nodeCounts, n)
+		}
+		sort.Ints(nodeCounts)
+		for _, n := range nodeCounts {
+			bmax := maxFloat(bd[app][n])
+			rmax := maxFloat(rd[app][n])
+			fmt.Fprintf(&b, "  %-8s %2d nodes  FCFS+EASY max=%.0f  RUSH max=%.0f\n", app, n, bmax, rmax)
+		}
+	}
+	return b.String()
+}
+
+// ReportMaxImprovement renders the percent improvement in maximum run
+// time per app and node count (Figure 9).
+func ReportMaxImprovement(cmp *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %% improvement in max run time (RUSH vs FCFS+EASY)\n", cmp.Experiment)
+	imp := MaxRunTimeImprovementByNodes(cmp.Baseline, cmp.RUSH)
+	for _, app := range AppsIn(cmp.Baseline) {
+		nodeCounts := make([]int, 0, len(imp[app]))
+		for n := range imp[app] {
+			nodeCounts = append(nodeCounts, n)
+		}
+		sort.Ints(nodeCounts)
+		for _, n := range nodeCounts {
+			fmt.Fprintf(&b, "  %-8s %2d nodes  %+.1f%%\n", app, n, imp[app][n])
+		}
+	}
+	return b.String()
+}
+
+// ReportMakespan renders mean makespans and system utilization for
+// several experiments (Figure 10, plus the abstract's utilization
+// claim).
+func ReportMakespan(cmps []*Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: mean makespan (seconds) and utilization\n")
+	nodes := cluster.Pod512().Nodes
+	for _, cmp := range cmps {
+		bm, rm := MeanMakespan(cmp.Baseline), MeanMakespan(cmp.RUSH)
+		bu, ru := MeanUtilization(cmp.Baseline, nodes), MeanUtilization(cmp.RUSH, nodes)
+		fmt.Fprintf(&b, "  %-4s FCFS+EASY=%.0f (util %.0f%%)  RUSH=%.0f (util %.0f%%)  (delta %+.0f s)\n",
+			cmp.Experiment, bm, 100*bu, rm, 100*ru, rm-bm)
+	}
+	return b.String()
+}
+
+// ReportWaitTimes renders per-app mean wait times, excluding jobs queued
+// at t=0 as in Figure 11.
+func ReportWaitTimes(cmp *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: mean wait time per app, staggered jobs only (seconds)\n", cmp.Experiment)
+	bw := MeanWaitByApp(cmp.Baseline, true)
+	rw := MeanWaitByApp(cmp.RUSH, true)
+	for _, app := range AppsIn(cmp.Baseline) {
+		fmt.Fprintf(&b, "  %-8s FCFS+EASY=%.0f  RUSH=%.0f  (delta %+.0f s)\n", app, bw[app], rw[app], rw[app]-bw[app])
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rush/internal/core"
+	"rush/internal/workload"
+)
+
+func TestReportTableI(t *testing.T) {
+	out := ReportTableI()
+	for _, want := range []string{"sysclassib", "opa_info", "lustre_client", "282"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportTableII(t *testing.T) {
+	out := ReportTableII()
+	for _, want := range []string{"ADAA", "ADPA", "PDPA", "WS", "SS", "190", "150"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFigure3(t *testing.T) {
+	scores := []core.ModelScore{
+		{Model: core.ModelAdaBoost, Scope: "job-nodes", F1: 0.93, Accuracy: 0.98},
+	}
+	out := ReportFigure3(scores)
+	if !strings.Contains(out, "AdaBoost") || !strings.Contains(out, "0.930") {
+		t.Fatalf("Figure 3 report wrong:\n%s", out)
+	}
+}
+
+func TestExperimentReports(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	cmp, err := RunExperiment(spec, pred, 1, 500, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := BaselineStats(cmp.Baseline)
+
+	variation := ReportVariation(cmp, ref)
+	if !strings.Contains(variation, "TOTAL") || !strings.Contains(variation, "Laghos") {
+		t.Fatalf("variation report wrong:\n%s", variation)
+	}
+	dist := ReportRunTimeDist(cmp)
+	if !strings.Contains(dist, "max=") || !strings.Contains(dist, "RUSH") {
+		t.Fatalf("dist report wrong:\n%s", dist)
+	}
+	mk := ReportMakespan([]*Comparison{cmp})
+	if !strings.Contains(mk, "ADAA") || !strings.Contains(mk, "delta") {
+		t.Fatalf("makespan report wrong:\n%s", mk)
+	}
+	wt := ReportWaitTimes(cmp)
+	if !strings.Contains(wt, "FCFS+EASY=") {
+		t.Fatalf("wait report wrong:\n%s", wt)
+	}
+}
+
+func TestScalingReports(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("SS")
+	cmp, err := RunExperiment(spec, pred, 1, 600, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := ReportScalingDist(cmp)
+	for _, want := range []string{" 8 nodes", "16 nodes", "32 nodes"} {
+		if !strings.Contains(sd, want) {
+			t.Fatalf("scaling dist missing %q:\n%s", want, sd)
+		}
+	}
+	mi := ReportMaxImprovement(cmp)
+	if !strings.Contains(mi, "%") {
+		t.Fatalf("improvement report wrong:\n%s", mi)
+	}
+}
+
+func TestReportFigure1(t *testing.T) {
+	res, err := core.Collect(core.CollectConfig{Days: 15, Seed: 5, Incident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ReportFigure1(res.JobScope)
+	for _, want := range []string{"Laghos", "LBANN", "peak"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 1 report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace I/O: trials serialize to a simple CSV so results can be analyzed
+// outside this repository (plotting, statistics) and archived alongside
+// the paper's figures.
+
+var traceHeader = []string{
+	"experiment", "policy", "seed", "job", "app", "nodes",
+	"submit", "start", "end", "wait", "runtime", "skips", "immediate",
+}
+
+// WriteTrace writes one trial's per-job records as CSV.
+func (tr *Trial) WriteTrace(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("experiments: write trace header: %w", err)
+	}
+	for _, j := range tr.Jobs {
+		rec := []string{
+			tr.Experiment,
+			string(tr.Policy),
+			strconv.FormatInt(tr.Seed, 10),
+			strconv.Itoa(j.ID),
+			j.App,
+			strconv.Itoa(j.Nodes),
+			fmtF(j.Submit), fmtF(j.Start), fmtF(j.End),
+			fmtF(j.Wait), fmtF(j.RunTime),
+			strconv.Itoa(j.Skips),
+			strconv.FormatBool(j.Immediate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: write trace row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadTrace parses a trial written by WriteTrace. Experiment, policy,
+// and seed are taken from the first row.
+func ReadTrace(r io.Reader) (*Trial, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read trace header: %w", err)
+	}
+	if len(header) != len(traceHeader) {
+		return nil, fmt.Errorf("experiments: trace header has %d columns, want %d", len(header), len(traceHeader))
+	}
+	for i := range traceHeader {
+		if header[i] != traceHeader[i] {
+			return nil, fmt.Errorf("experiments: trace column %d is %q, want %q", i, header[i], traceHeader[i])
+		}
+	}
+	tr := &Trial{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trace line %d: %w", line, err)
+		}
+		if tr.Experiment == "" {
+			tr.Experiment = rec[0]
+			tr.Policy = Policy(rec[1])
+			if tr.Seed, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("experiments: trace line %d: seed: %w", line, err)
+			}
+		}
+		var j JobRecord
+		fields := []struct {
+			dst *float64
+			idx int
+		}{
+			{&j.Submit, 6}, {&j.Start, 7}, {&j.End, 8}, {&j.Wait, 9}, {&j.RunTime, 10},
+		}
+		if j.ID, err = strconv.Atoi(rec[3]); err != nil {
+			return nil, fmt.Errorf("experiments: trace line %d: job: %w", line, err)
+		}
+		j.App = rec[4]
+		if j.Nodes, err = strconv.Atoi(rec[5]); err != nil {
+			return nil, fmt.Errorf("experiments: trace line %d: nodes: %w", line, err)
+		}
+		for _, f := range fields {
+			if *f.dst, err = strconv.ParseFloat(rec[f.idx], 64); err != nil {
+				return nil, fmt.Errorf("experiments: trace line %d col %d: %w", line, f.idx, err)
+			}
+		}
+		if j.Skips, err = strconv.Atoi(rec[11]); err != nil {
+			return nil, fmt.Errorf("experiments: trace line %d: skips: %w", line, err)
+		}
+		if j.Immediate, err = strconv.ParseBool(rec[12]); err != nil {
+			return nil, fmt.Errorf("experiments: trace line %d: immediate: %w", line, err)
+		}
+		tr.Jobs = append(tr.Jobs, j)
+		if j.End > tr.Makespan {
+			tr.Makespan = j.End
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rush/internal/workload"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	spec, _ := workload.SpecByName("ADPA")
+	tr, err := RunTrial(spec, Baseline, nil, 5, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != tr.Experiment || got.Policy != tr.Policy || got.Seed != tr.Seed {
+		t.Fatalf("trial metadata changed: %+v", got)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("job count changed: %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		if got.Jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d changed: %+v vs %+v", i, got.Jobs[i], tr.Jobs[i])
+		}
+	}
+	if got.Makespan != tr.Makespan {
+		t.Fatalf("makespan changed: %v vs %v", got.Makespan, tr.Makespan)
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,header\n",
+		strings.Join(traceHeader, ",") + "\nADAA,RUSH,notanint,0,A,16,0,0,0,0,0,0,false\n",
+		strings.Join(traceHeader, ",") + "\nADAA,RUSH,1,0,A,16,0,0,0,0,notafloat,0,false\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

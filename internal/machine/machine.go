@@ -1,0 +1,272 @@
+// Package machine couples the simulation engine, the cluster allocator,
+// the contention state, and the telemetry sampler into a runnable HPC
+// machine. Its core job is run-time integration: a running job's
+// completion time is recomputed whenever the contention state changes, so
+// a job that begins under congestion and finishes under calm accrues
+// exactly the right amount of slowdown from each epoch it lived through.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/sim"
+	"rush/internal/simnet"
+	"rush/internal/telemetry"
+)
+
+// RunningJob tracks one executing job's integration state.
+type RunningJob struct {
+	// ID is the machine-assigned run identifier.
+	ID int
+	// Profile is the application being run.
+	Profile apps.Profile
+	// Alloc is the node set the job runs on.
+	Alloc cluster.Allocation
+	// BaseWork is the contention-free run time in seconds.
+	BaseWork float64
+	// StartTime is when the job began executing.
+	StartTime float64
+	// EndTime is when the job finished; NaN while running.
+	EndTime float64
+
+	jitter    float64 // per-run lognormal noise multiplier (>= ~1)
+	remaining float64 // seconds of base work left
+	slowdown  float64 // current wall-seconds per base-work second
+	lastT     float64 // time of last integration step
+	multiPod  bool    // allocation spans pods: core contention applies
+	done      *sim.Event
+	contrib   simnet.Contribution
+	onDone    func(*RunningJob)
+}
+
+// RunTime returns the job's realized wall-clock run time; it is only
+// meaningful after completion.
+func (rj *RunningJob) RunTime() float64 { return rj.EndTime - rj.StartTime }
+
+// Machine is a simulated HPC system.
+type Machine struct {
+	Eng     *sim.Engine
+	Topo    cluster.Topology
+	Alloc   *cluster.Allocator
+	Net     *simnet.State
+	Sampler *telemetry.Sampler
+
+	rng     *sim.Source
+	probes  *sim.Source
+	jobs    map[*RunningJob]struct{}
+	nextID  int
+	updates bool // reentrancy guard for the state-change hook
+}
+
+// New constructs a machine over topo, with all randomness derived from
+// the engine's root source.
+func New(eng *sim.Engine, topo cluster.Topology) *Machine {
+	m := &Machine{
+		Eng:     eng,
+		Topo:    topo,
+		Alloc:   cluster.NewAllocator(topo),
+		Net:     simnet.NewState(topo, eng.Now),
+		Sampler: telemetry.NewSampler(topo, eng.Source().Derive("telemetry")),
+		rng:     eng.Source().Derive("machine"),
+		probes:  eng.Source().Derive("probes"),
+		jobs:    map[*RunningJob]struct{}{},
+	}
+	m.Net.Subscribe(m.onStateChange)
+	return m
+}
+
+// Running returns the number of currently executing jobs.
+func (m *Machine) Running() int { return len(m.jobs) }
+
+// StartJob begins executing profile on alloc with the given contention-
+// free base run time. onDone is invoked (with the allocation already
+// freed and the job's load withdrawn) when the job completes.
+func (m *Machine) StartJob(profile apps.Profile, alloc cluster.Allocation, baseWork float64, onDone func(*RunningJob)) *RunningJob {
+	if baseWork <= 0 {
+		panic(fmt.Sprintf("machine: non-positive base work %v for %s", baseWork, profile.Name))
+	}
+	if len(alloc.Nodes) == 0 {
+		panic("machine: job started with empty allocation")
+	}
+	id := m.nextID
+	m.nextID++
+	rj := &RunningJob{
+		ID:        id,
+		Profile:   profile,
+		Alloc:     alloc,
+		BaseWork:  baseWork,
+		StartTime: m.Eng.Now(),
+		EndTime:   math.NaN(),
+		jitter:    m.rng.DeriveN("jitter", id).LogNormal(0, profile.Jitter),
+		remaining: baseWork,
+		lastT:     m.Eng.Now(),
+		multiPod:  len(alloc.Pods(m.Topo)) > 1,
+		contrib:   profile.Contribution(m.Topo, alloc),
+		onDone:    onDone,
+	}
+	// Apply the job's own load first so that its slowdown includes the
+	// contention it creates (self-contention is real on shared fabrics).
+	m.Net.Apply(rj.contrib)
+	m.jobs[rj] = struct{}{}
+	rj.slowdown = m.currentSlowdown(rj)
+	m.scheduleCompletion(rj)
+	return rj
+}
+
+// currentSlowdown evaluates a job's wall-per-work factor under the
+// present contention state, including its per-run jitter. Jobs spanning
+// several pods additionally feel core-link contention.
+func (m *Machine) currentSlowdown(rj *RunningJob) float64 {
+	coreOv := 0.0
+	if rj.multiPod {
+		coreOv = m.Net.CoreOverload()
+	}
+	s := rj.Profile.SlowdownCore(m.Net.AllocNetOverload(rj.Alloc), coreOv, m.Net.FSOverload()) * rj.jitter
+	if s < 1e-6 {
+		panic(fmt.Sprintf("machine: degenerate slowdown %v", s))
+	}
+	return s
+}
+
+// advance integrates a job's progress up to the current instant under its
+// previously computed slowdown.
+func (m *Machine) advance(rj *RunningJob) {
+	dt := m.Eng.Now() - rj.lastT
+	if dt > 0 {
+		rj.remaining -= dt / rj.slowdown
+		if rj.remaining < 0 {
+			rj.remaining = 0
+		}
+		rj.lastT = m.Eng.Now()
+	}
+}
+
+func (m *Machine) scheduleCompletion(rj *RunningJob) {
+	if rj.done != nil {
+		m.Eng.Cancel(rj.done)
+	}
+	rj.done = m.Eng.Schedule(rj.remaining*rj.slowdown, func() { m.complete(rj) })
+}
+
+func (m *Machine) complete(rj *RunningJob) {
+	m.advance(rj)
+	rj.EndTime = m.Eng.Now()
+	rj.done = nil
+	delete(m.jobs, rj)
+	m.Alloc.Free(rj.Alloc)
+	m.Net.Remove(rj.contrib)
+	if rj.onDone != nil {
+		rj.onDone(rj)
+	}
+}
+
+// onStateChange re-integrates every running job under the new contention
+// state and reschedules its completion.
+func (m *Machine) onStateChange() {
+	if m.updates {
+		return // a re-integration never changes load; guard anyway
+	}
+	m.updates = true
+	defer func() { m.updates = false }()
+	for rj := range m.jobs {
+		m.advance(rj)
+		s := m.currentSlowdown(rj)
+		if s != rj.slowdown {
+			rj.slowdown = s
+			m.scheduleCompletion(rj)
+		}
+	}
+}
+
+// RunProbes runs the MPI probe benchmarks on alloc under the current
+// state, drawing noise from the machine's probe stream.
+func (m *Machine) RunProbes(alloc cluster.Allocation) simnet.ProbeResult {
+	return simnet.RunProbes(m.Net, alloc, m.probes)
+}
+
+// Noise drives the paper's synthetic all-to-all noise job: it occupies a
+// fixed set of nodes and cycles through phases of uniformly drawn network
+// load.
+type Noise struct {
+	m       *Machine
+	cfg     apps.Noise
+	alloc   cluster.Allocation
+	rng     *sim.Source
+	current simnet.Contribution
+	active  bool
+	phase   *sim.Event
+}
+
+// StartNoise allocates cfg.NodeFraction of the machine's nodes and begins
+// cycling load phases. It returns an error when the nodes cannot be
+// allocated.
+func (m *Machine) StartNoise(cfg apps.Noise) (*Noise, error) {
+	n := int(math.Round(cfg.NodeFraction * float64(m.Topo.Nodes)))
+	if n < 1 {
+		n = 1
+	}
+	alloc, err := m.Alloc.Alloc(n)
+	if err != nil {
+		return nil, fmt.Errorf("machine: noise job: %w", err)
+	}
+	nz := &Noise{m: m, cfg: cfg, alloc: alloc, rng: m.rng.Derive("noise"), active: true}
+	nz.nextPhase()
+	return nz, nil
+}
+
+// Nodes returns the noise job's allocation size.
+func (nz *Noise) Nodes() int { return len(nz.alloc.Nodes) }
+
+func (nz *Noise) nextPhase() {
+	if !nz.active {
+		return
+	}
+	// Withdraw the previous phase's load, draw a new level, apply it.
+	nz.m.Net.Remove(nz.current)
+	level := nz.rng.Uniform(0, nz.cfg.MaxLoad)
+	podNet := map[int]float64{}
+	for _, node := range nz.alloc.Nodes {
+		podNet[nz.m.Topo.PodOf(node)] += level / float64(len(nz.alloc.Nodes))
+	}
+	nz.current = simnet.Contribution{PodNet: podNet, FS: level * nz.cfg.FSFraction}
+	nz.m.Net.Apply(nz.current)
+	nz.phase = nz.m.Eng.Schedule(nz.rng.Uniform(nz.cfg.MinPhase, nz.cfg.MaxPhase), nz.nextPhase)
+}
+
+// Stop withdraws the noise load and frees its nodes.
+func (nz *Noise) Stop() {
+	if !nz.active {
+		return
+	}
+	nz.active = false
+	if nz.phase != nil {
+		nz.m.Eng.Cancel(nz.phase)
+	}
+	nz.m.Net.Remove(nz.current)
+	nz.current = simnet.Contribution{}
+	nz.m.Alloc.Free(nz.alloc)
+}
+
+// Background injects a caller-controlled ambient load (used by the
+// longitudinal collection pipeline to model the rest of the machine's
+// workload, including the paper's mid-December congestion incident).
+type Background struct {
+	m       *Machine
+	current simnet.Contribution
+}
+
+// NewBackground returns an ambient load handle with zero initial load.
+func (m *Machine) NewBackground() *Background { return &Background{m: m} }
+
+// Set replaces the ambient contribution. Loads are absolute (not deltas).
+func (b *Background) Set(c simnet.Contribution) {
+	b.m.Net.Remove(b.current)
+	b.current = c
+	b.m.Net.Apply(c)
+}
+
+// Clear withdraws the ambient load.
+func (b *Background) Clear() { b.Set(simnet.Contribution{}) }

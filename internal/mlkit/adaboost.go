@@ -1,0 +1,333 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+
+	"rush/internal/sim"
+)
+
+// AdaBoostConfig controls SAMME training.
+type AdaBoostConfig struct {
+	// Rounds is the maximum number of boosting rounds (default 150).
+	Rounds int
+	// LearningRate shrinks each round's contribution (default 1.0).
+	LearningRate float64
+	// Depth selects the weak learner: 1 (default) uses fast presorted
+	// decision stumps; >= 2 uses weighted CART trees of that depth,
+	// which can capture interactions (e.g. app type x congestion) a
+	// stump cannot.
+	Depth int
+	// MaxFeatures bounds the per-split feature scan of depth >= 2 weak
+	// learners (default 48); ignored for stumps, which always scan every
+	// feature.
+	MaxFeatures int
+	// Seed drives feature subsampling of depth >= 2 weak learners.
+	Seed int64
+}
+
+func (c *AdaBoostConfig) fill() {
+	if c.Rounds <= 0 {
+		c.Rounds = 150
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1
+	}
+	if c.Depth <= 0 {
+		c.Depth = 1
+	}
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = 48
+	}
+}
+
+// AdaBoost is a multi-class SAMME booster over decision stumps — the
+// classifier the paper selects for RUSH (highest F1 in Figure 3). Stumps
+// are fit with a single presorted pass per feature, so training is
+// O(rounds × features × samples).
+type AdaBoost struct {
+	cfg     AdaBoostConfig
+	classes []int
+	stumps  []stump // weak learners when Depth == 1
+	trees   []*Tree // weak learners when Depth >= 2
+	alphas  []float64
+	imp     []float64
+}
+
+// stump is a depth-1 decision rule: class left/right of one threshold.
+type stump struct {
+	Feature    int
+	Threshold  float64
+	LeftClass  int // index into classes
+	RightClass int
+}
+
+func (s stump) predict(sample []float64) int {
+	if sample[s.Feature] <= s.Threshold {
+		return s.LeftClass
+	}
+	return s.RightClass
+}
+
+// NewAdaBoost returns an untrained SAMME booster.
+func NewAdaBoost(cfg AdaBoostConfig) *AdaBoost {
+	cfg.fill()
+	return &AdaBoost{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (a *AdaBoost) Name() string { return "AdaBoost" }
+
+// Rounds returns the number of boosting rounds actually performed.
+func (a *AdaBoost) Rounds() int {
+	if a.cfg.Depth >= 2 {
+		return len(a.trees)
+	}
+	return len(a.stumps)
+}
+
+// Fit implements Classifier.
+func (a *AdaBoost) Fit(x [][]float64, y []int) error {
+	nf, err := validateXY(x, y)
+	if err != nil {
+		return err
+	}
+	a.classes = classSet(y)
+	k := len(a.classes)
+	classIdx := map[int]int{}
+	for i, c := range a.classes {
+		classIdx[c] = i
+	}
+	yi := make([]int, len(y))
+	for i, label := range y {
+		yi[i] = classIdx[label]
+	}
+
+	// Presort sample indices per feature once; every stump round reuses
+	// them. Tree weak learners sort per node instead.
+	var sorted [][]int
+	if a.cfg.Depth == 1 {
+		sorted = make([][]int, nf)
+		for f := 0; f < nf; f++ {
+			idx := make([]int, len(x))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(p, q int) bool { return x[idx[p]][f] < x[idx[q]][f] })
+			sorted[f] = idx
+		}
+	}
+
+	n := len(x)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	a.stumps = a.stumps[:0]
+	a.trees = a.trees[:0]
+	a.alphas = a.alphas[:0]
+	a.imp = make([]float64, nf)
+	seedRng := sim.NewSource(a.cfg.Seed).Derive("adaboost")
+
+	randomGuess := 1 - 1/float64(k)
+	for round := 0; round < a.cfg.Rounds; round++ {
+		// Fit this round's weak learner on the current weights.
+		var predict func([]float64) int
+		var learnerImp []float64
+		var st stump
+		var tree *Tree
+		var errRate float64
+		if a.cfg.Depth == 1 {
+			st, errRate = bestStump(x, yi, w, k, sorted)
+			if st.Feature < 0 {
+				break
+			}
+			predict = st.predict
+		} else {
+			tree = NewTree(TreeConfig{
+				MaxDepth:    a.cfg.Depth + 1, // CART counts the root as a level
+				MaxFeatures: a.cfg.MaxFeatures,
+				Seed:        seedRng.Int63(),
+			})
+			if err := tree.FitWeighted(x, yi, w); err != nil {
+				return err
+			}
+			predict = tree.Predict
+			learnerImp = tree.Importances()
+			errRate = 0
+			for i := range w {
+				if predict(x[i]) != yi[i] {
+					errRate += w[i]
+				}
+			}
+		}
+		if errRate >= randomGuess {
+			break // no weak learner beats random guessing anymore
+		}
+
+		perfect := errRate <= 1e-10
+		var alpha float64
+		if perfect {
+			// Perfect weak learner: large finite vote, then stop.
+			alpha = a.cfg.LearningRate * (math.Log(1e10) + math.Log(float64(k)-1))
+		} else {
+			alpha = a.cfg.LearningRate * (math.Log((1-errRate)/errRate) + math.Log(float64(k)-1))
+		}
+		a.alphas = append(a.alphas, alpha)
+		if a.cfg.Depth == 1 {
+			a.stumps = append(a.stumps, st)
+			a.imp[st.Feature] += alpha
+		} else {
+			a.trees = append(a.trees, tree)
+			for f, v := range learnerImp {
+				a.imp[f] += alpha * v
+			}
+		}
+		if perfect {
+			break
+		}
+
+		// Reweight: misclassified samples up, then renormalize.
+		var sum float64
+		for i := range w {
+			if predict(x[i]) != yi[i] {
+				w[i] *= math.Exp(alpha)
+			}
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	if len(a.alphas) == 0 {
+		// Degenerate data (e.g. a single class): fall back to a constant
+		// stump predicting the majority class so Predict stays total.
+		counts := make([]float64, k)
+		for _, c := range yi {
+			counts[c]++
+		}
+		m := argmax(counts)
+		a.cfg.Depth = 1
+		a.stumps = append(a.stumps, stump{Feature: 0, Threshold: math.Inf(1), LeftClass: m, RightClass: m})
+		a.alphas = append(a.alphas, 1)
+	}
+	var total float64
+	for _, v := range a.imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range a.imp {
+			a.imp[i] /= total
+		}
+	}
+	return nil
+}
+
+// bestStump finds the weighted-error-minimizing stump across all
+// features using the presorted index lists. It returns Feature == -1 when
+// no feature has two distinct values.
+func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int) (stump, float64) {
+	var totalCounts []float64
+	totalCounts = make([]float64, k)
+	var totalW float64
+	for i, wi := range w {
+		totalCounts[yi[i]] += wi
+		totalW += wi
+	}
+
+	best := stump{Feature: -1}
+	bestErr := math.Inf(1)
+	leftCounts := make([]float64, k)
+
+	for f := range sorted {
+		idx := sorted[f]
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		var leftW float64
+		for p := 0; p < len(idx)-1; p++ {
+			s := idx[p]
+			leftCounts[yi[s]] += w[s]
+			leftW += w[s]
+			v, next := x[s][f], x[idx[p+1]][f]
+			if v == next {
+				continue
+			}
+			// Error = total - (best left class mass) - (best right class mass).
+			bl, br := 0, 0
+			blw, brw := -1.0, -1.0
+			for c := 0; c < k; c++ {
+				if leftCounts[c] > blw {
+					blw = leftCounts[c]
+					bl = c
+				}
+				if r := totalCounts[c] - leftCounts[c]; r > brw {
+					brw = r
+					br = c
+				}
+			}
+			e := totalW - blw - brw
+			if e < bestErr {
+				bestErr = e
+				best = stump{Feature: f, Threshold: v + (next-v)/2, LeftClass: bl, RightClass: br}
+			}
+		}
+	}
+	if best.Feature < 0 {
+		return best, 1
+	}
+	return best, bestErr / totalW
+}
+
+// Predict implements Classifier via the SAMME weighted vote.
+func (a *AdaBoost) Predict(sample []float64) int {
+	if len(a.alphas) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	votes := make([]float64, len(a.classes))
+	if a.cfg.Depth >= 2 && len(a.trees) > 0 {
+		for i, t := range a.trees {
+			votes[t.Predict(sample)] += a.alphas[i]
+		}
+	} else {
+		for i, st := range a.stumps {
+			votes[st.predict(sample)] += a.alphas[i]
+		}
+	}
+	return a.classes[argmax(votes)]
+}
+
+// PredictProba returns the normalized SAMME vote shares per class, in
+// Classes order — a pseudo-probability suitable for threshold-based
+// decision rules.
+func (a *AdaBoost) PredictProba(sample []float64) []float64 {
+	if len(a.alphas) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	votes := make([]float64, len(a.classes))
+	var total float64
+	if a.cfg.Depth >= 2 && len(a.trees) > 0 {
+		for i, t := range a.trees {
+			votes[t.Predict(sample)] += a.alphas[i]
+			total += a.alphas[i]
+		}
+	} else {
+		for i, st := range a.stumps {
+			votes[st.predict(sample)] += a.alphas[i]
+			total += a.alphas[i]
+		}
+	}
+	if total > 0 {
+		for i := range votes {
+			votes[i] /= total
+		}
+	}
+	return votes
+}
+
+// Classes returns the sorted training labels.
+func (a *AdaBoost) Classes() []int { return a.classes }
+
+// Importances implements ImportanceReporter: each feature's share of the
+// total boosting vote.
+func (a *AdaBoost) Importances() []float64 { return a.imp }

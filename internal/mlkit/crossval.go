@@ -1,0 +1,152 @@
+package mlkit
+
+import (
+	"fmt"
+	"sort"
+
+	"rush/internal/sim"
+)
+
+// StratifiedKFold partitions sample indices into k folds that preserve
+// the class proportions of y — the paper trains "using stratified cross
+// validation to preserve the imbalance of the data". It returns the test
+// indices of each fold.
+func StratifiedKFold(y []int, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mlkit: need k >= 2 folds, got %d", k)
+	}
+	if len(y) < k {
+		return nil, fmt.Errorf("mlkit: %d samples cannot fill %d folds", len(y), k)
+	}
+	rng := sim.NewSource(seed).Derive("skf")
+	byClass := map[int][]int{}
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+
+	folds := make([][]int, k)
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for i, s := range idx {
+			folds[i%k] = append(folds[i%k], s)
+		}
+	}
+	for i := range folds {
+		sort.Ints(folds[i])
+	}
+	return folds, nil
+}
+
+// LeaveOneGroupOut returns, for each distinct group label (the paper's
+// per-application split), the test indices belonging to that group.
+// Groups are returned in sorted-name order.
+func LeaveOneGroupOut(groups []string) (names []string, folds [][]int) {
+	byGroup := map[string][]int{}
+	for i, g := range groups {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	for g := range byGroup {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	folds = make([][]int, len(names))
+	for i, g := range names {
+		folds[i] = byGroup[g]
+	}
+	return names, folds
+}
+
+// Complement returns all indices in [0, n) not present in test (which
+// must be sorted ascending).
+func Complement(n int, test []int) []int {
+	out := make([]int, 0, n-len(test))
+	ti := 0
+	for i := 0; i < n; i++ {
+		if ti < len(test) && test[ti] == i {
+			ti++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// Take gathers the rows/labels at the given indices.
+func Take(x [][]float64, y []int, idx []int) ([][]float64, []int) {
+	xs := make([][]float64, len(idx))
+	ys := make([]int, len(idx))
+	for i, s := range idx {
+		xs[i] = x[s]
+		ys[i] = y[s]
+	}
+	return xs, ys
+}
+
+// CVResult reports one cross-validation run.
+type CVResult struct {
+	// FoldF1 is the positive-class F1 of each fold.
+	FoldF1 []float64
+	// FoldAccuracy is the accuracy of each fold.
+	FoldAccuracy []float64
+}
+
+// MeanF1 averages the per-fold F1 scores.
+func (r CVResult) MeanF1() float64 {
+	if len(r.FoldF1) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range r.FoldF1 {
+		s += v
+	}
+	return s / float64(len(r.FoldF1))
+}
+
+// MeanAccuracy averages the per-fold accuracies.
+func (r CVResult) MeanAccuracy() float64 {
+	if len(r.FoldAccuracy) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range r.FoldAccuracy {
+		s += v
+	}
+	return s / float64(len(r.FoldAccuracy))
+}
+
+// CrossValidate trains a fresh model from factory on each fold's
+// complement and evaluates on the fold, reporting F1 of class pos and
+// accuracy. Folds whose training split would be single-class are skipped.
+func CrossValidate(factory func() Classifier, x [][]float64, y []int, folds [][]int, pos int) (CVResult, error) {
+	var res CVResult
+	for fi, test := range folds {
+		sorted := append([]int(nil), test...)
+		sort.Ints(sorted)
+		train := Complement(len(x), sorted)
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		xtr, ytr := Take(x, y, train)
+		if len(classSet(ytr)) < 2 {
+			continue
+		}
+		xte, yte := Take(x, y, sorted)
+		m := factory()
+		if err := m.Fit(xtr, ytr); err != nil {
+			return res, fmt.Errorf("mlkit: fold %d: %w", fi, err)
+		}
+		pred := PredictBatch(m, xte)
+		res.FoldF1 = append(res.FoldF1, F1Score(yte, pred, pos))
+		res.FoldAccuracy = append(res.FoldAccuracy, Accuracy(yte, pred))
+	}
+	if len(res.FoldF1) == 0 {
+		return res, fmt.Errorf("mlkit: no usable folds")
+	}
+	return res, nil
+}

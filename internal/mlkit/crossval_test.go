@@ -1,0 +1,283 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStratifiedKFoldPreservesBalance(t *testing.T) {
+	// 100 samples, 20% positive.
+	y := make([]int, 100)
+	for i := 0; i < 20; i++ {
+		y[i] = 1
+	}
+	folds, err := StratifiedKFold(y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]int{}
+	for _, fold := range folds {
+		pos := 0
+		for _, i := range fold {
+			seen[i]++
+			if y[i] == 1 {
+				pos++
+			}
+		}
+		if len(fold) != 20 {
+			t.Fatalf("fold size = %d", len(fold))
+		}
+		if pos != 4 {
+			t.Fatalf("fold has %d positives, want 4", pos)
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("folds cover %d samples, want 100", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d appears %d times", i, n)
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 1, 0); err == nil {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := StratifiedKFold([]int{0}, 2, 0); err == nil {
+		t.Fatal("more folds than samples should error")
+	}
+}
+
+// Property: every index lands in exactly one fold.
+func TestStratifiedKFoldPartitionProperty(t *testing.T) {
+	f := func(labels []bool, seed int64) bool {
+		if len(labels) < 4 {
+			return true
+		}
+		y := make([]int, len(labels))
+		for i, b := range labels {
+			if b {
+				y[i] = 1
+			}
+		}
+		folds, err := StratifiedKFold(y, 4, seed)
+		if err != nil {
+			return false
+		}
+		var all []int
+		for _, f := range folds {
+			all = append(all, f...)
+		}
+		sort.Ints(all)
+		if len(all) != len(y) {
+			return false
+		}
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaveOneGroupOut(t *testing.T) {
+	groups := []string{"b", "a", "b", "c", "a"}
+	names, folds := LeaveOneGroupOut(groups)
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+	if len(folds[0]) != 2 || folds[0][0] != 1 || folds[0][1] != 4 {
+		t.Fatalf("fold a = %v", folds[0])
+	}
+	if len(folds[2]) != 1 || folds[2][0] != 3 {
+		t.Fatalf("fold c = %v", folds[2])
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := Complement(6, []int{1, 3, 4})
+	want := []int{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("complement = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("complement = %v, want %v", got, want)
+		}
+	}
+	if len(Complement(3, []int{0, 1, 2})) != 0 {
+		t.Fatal("full complement should be empty")
+	}
+}
+
+func TestCrossValidateOnLearnableData(t *testing.T) {
+	x, y := synthBinary(300, 3, 2, 0.3, 21)
+	folds, err := StratifiedKFold(y, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(func() Classifier {
+		return NewTree(TreeConfig{MaxDepth: 6})
+	}, x, y, folds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldF1) != 4 {
+		t.Fatalf("fold count = %d", len(res.FoldF1))
+	}
+	if res.MeanF1() < 0.85 {
+		t.Fatalf("cv F1 = %v", res.MeanF1())
+	}
+	if res.MeanAccuracy() < 0.85 {
+		t.Fatalf("cv accuracy = %v", res.MeanAccuracy())
+	}
+}
+
+func TestCrossValidateLeaveOneGroupOut(t *testing.T) {
+	// Two "applications" drawn from the same distribution: the model must
+	// generalize from one to the other.
+	x1, y1 := synthBinary(150, 3, 2, 0.3, 22)
+	x2, y2 := synthBinary(150, 3, 2, 0.3, 23)
+	x := append(x1, x2...)
+	y := append(y1, y2...)
+	groups := make([]string, 300)
+	for i := range groups {
+		if i < 150 {
+			groups[i] = "app1"
+		} else {
+			groups[i] = "app2"
+		}
+	}
+	_, folds := LeaveOneGroupOut(groups)
+	res, err := CrossValidate(func() Classifier {
+		return NewAdaBoost(AdaBoostConfig{Rounds: 40})
+	}, x, y, folds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanF1() < 0.85 {
+		t.Fatalf("leave-one-app-out F1 = %v", res.MeanF1())
+	}
+}
+
+func TestCrossValidateSkipsDegenerateFolds(t *testing.T) {
+	// All positives in one fold: its complement has only one class left,
+	// but with k=2, one fold trains fine.
+	x := [][]float64{{0}, {0.1}, {0.2}, {0.9}, {1.0}, {1.1}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	folds := [][]int{{3, 4, 5}, {0, 1}}
+	res, err := CrossValidate(func() Classifier {
+		return NewTree(TreeConfig{MaxDepth: 3})
+	}, x, y, folds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldF1) != 1 {
+		t.Fatalf("should have skipped the single-class-train fold: %v", res.FoldF1)
+	}
+}
+
+func TestCVResultEmpty(t *testing.T) {
+	var r CVResult
+	if r.MeanF1() != 0 || r.MeanAccuracy() != 0 {
+		t.Fatal("empty result should average to zero")
+	}
+}
+
+func TestTake(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []int{10, 20, 30}
+	xs, ys := Take(x, y, []int{2, 0})
+	if xs[0][0] != 3 || xs[1][0] != 1 || ys[0] != 30 || ys[1] != 10 {
+		t.Fatalf("take wrong: %v %v", xs, ys)
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	sub := SelectColumns(x, []int{2, 0})
+	if sub[0][0] != 3 || sub[0][1] != 1 || sub[1][0] != 6 || sub[1][1] != 4 {
+		t.Fatalf("select = %v", sub)
+	}
+	// Must be a copy.
+	sub[0][0] = 99
+	if x[0][2] == 99 {
+		t.Fatal("SelectColumns must copy")
+	}
+}
+
+func TestRFESelectsInformativeFeatures(t *testing.T) {
+	x, y := synthBinary(300, 3, 12, 0.3, 24)
+	res, err := RFE(func() Classifier {
+		return NewRandomForest(ForestConfig{Trees: 15, MaxDepth: 6, Seed: 7})
+	}, x, y, RFEConfig{MinFeatures: 3, Folds: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestF1 < 0.85 {
+		t.Fatalf("RFE best F1 = %v", res.BestF1)
+	}
+	if len(res.Trajectory) < 2 {
+		t.Fatalf("trajectory too short: %+v", res.Trajectory)
+	}
+	// The selected subset should retain at least two informative columns.
+	kept := 0
+	for _, c := range res.Selected {
+		if c < 3 {
+			kept++
+		}
+	}
+	if kept < 2 {
+		t.Fatalf("RFE dropped informative features; selected %v", res.Selected)
+	}
+}
+
+func TestRFEWithKNNFallbackScoring(t *testing.T) {
+	x, y := synthBinary(200, 2, 6, 0.3, 25)
+	res, err := RFE(func() Classifier {
+		return NewKNN(KNNConfig{K: 3})
+	}, x, y, RFEConfig{MinFeatures: 2, Folds: 3, Seed: 2, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestF1 < 0.7 {
+		t.Fatalf("KNN RFE best F1 = %v", res.BestF1)
+	}
+	// Trajectory feature counts must strictly decrease.
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i].NumFeatures >= res.Trajectory[i-1].NumFeatures {
+			t.Fatalf("trajectory not decreasing: %+v", res.Trajectory)
+		}
+	}
+	last := res.Trajectory[len(res.Trajectory)-1]
+	if last.NumFeatures != 2 {
+		t.Fatalf("should eliminate down to MinFeatures: %+v", last)
+	}
+}
+
+func TestUnivariateScores(t *testing.T) {
+	// Feature 0 separates classes; feature 1 does not.
+	x := [][]float64{{0, 5}, {0.1, 5}, {1, 5}, {1.1, 5}}
+	y := []int{0, 0, 1, 1}
+	s := univariateScores(x, y)
+	if s[0] <= s[1] {
+		t.Fatalf("informative feature should outscore constant: %v", s)
+	}
+	if s[1] != 0 {
+		t.Fatalf("zero-variance feature should score 0: %v", s)
+	}
+	if math.IsNaN(s[0]) {
+		t.Fatal("score is NaN")
+	}
+}

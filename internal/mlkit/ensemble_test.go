@@ -1,0 +1,258 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomForestLearns(t *testing.T) {
+	x, y := synthBinary(500, 3, 5, 0.25, 11)
+	xtr, ytr, xte, yte := holdout(x, y)
+	f := NewRandomForest(ForestConfig{Trees: 30, MaxDepth: 8, Seed: 1})
+	if err := f.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1Score(yte, PredictBatch(f, xte), 1); f1 < 0.9 {
+		t.Fatalf("forest F1 = %v", f1)
+	}
+	if f.Name() != "DecisionForest" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestExtraTreesLearns(t *testing.T) {
+	x, y := synthBinary(500, 3, 5, 0.25, 12)
+	xtr, ytr, xte, yte := holdout(x, y)
+	f := NewExtraTrees(ForestConfig{Trees: 30, MaxDepth: 10, Seed: 2})
+	if err := f.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1Score(yte, PredictBatch(f, xte), 1); f1 < 0.88 {
+		t.Fatalf("extra trees F1 = %v", f1)
+	}
+	if f.Name() != "ExtraTrees" {
+		t.Fatalf("name = %q", f.Name())
+	}
+}
+
+func TestForestProbaIsVoteAverage(t *testing.T) {
+	x, y := synthBinary(300, 2, 2, 0.3, 13)
+	f := NewRandomForest(ForestConfig{Trees: 10, MaxDepth: 4, Seed: 3})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	sample := x[0]
+	probs := f.PredictProba(sample)
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability out of range: %v", probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// The ensemble average must equal the mean of per-tree probabilities.
+	want := make([]float64, len(f.classes))
+	for _, tree := range f.trees {
+		tp := tree.PredictProba(sample)
+		for i, c := range tree.Classes() {
+			for j, fc := range f.classes {
+				if fc == c {
+					want[j] += tp[i]
+				}
+			}
+		}
+	}
+	for i := range want {
+		want[i] /= float64(len(f.trees))
+		if math.Abs(want[i]-probs[i]) > 1e-9 {
+			t.Fatalf("proba mismatch: got %v want %v", probs, want)
+		}
+	}
+}
+
+func TestForestDeterministicAndSeedSensitive(t *testing.T) {
+	x, y := synthBinary(200, 2, 4, 0.3, 14)
+	fit := func(seed int64) []int {
+		f := NewRandomForest(ForestConfig{Trees: 10, MaxDepth: 5, Seed: seed})
+		if err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return PredictBatch(f, x)
+	}
+	a, b := fit(5), fit(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forest not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestForestImportances(t *testing.T) {
+	x, y := synthBinary(400, 2, 6, 0.3, 15)
+	f := NewRandomForest(ForestConfig{Trees: 20, MaxDepth: 6, Seed: 4})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importances()
+	if len(imp) != 8 {
+		t.Fatalf("importances length = %d", len(imp))
+	}
+	if imp[0]+imp[1] < 0.5 {
+		t.Fatalf("informative features should dominate importances: %v", imp)
+	}
+}
+
+func TestAdaBoostLearnsImbalanced(t *testing.T) {
+	x, y := synthBinary(600, 3, 5, 0.15, 16)
+	xtr, ytr, xte, yte := holdout(x, y)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 60})
+	if err := a.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1Score(yte, PredictBatch(a, xte), 1); f1 < 0.9 {
+		t.Fatalf("adaboost F1 = %v", f1)
+	}
+	if a.Rounds() == 0 || a.Rounds() > 60 {
+		t.Fatalf("rounds = %d", a.Rounds())
+	}
+	if a.Name() != "AdaBoost" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestAdaBoostBeatsSingleStumpOnXOR(t *testing.T) {
+	// One stump cannot solve XOR (~50%); boosting stumps does better
+	// because reweighting lets later stumps specialize.
+	x, y := synthXOR(600, 17)
+	xtr, ytr, xte, yte := holdout(x, y)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 100})
+	if err := a.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	one := NewAdaBoost(AdaBoostConfig{Rounds: 1})
+	if err := one.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	accBoost := Accuracy(yte, PredictBatch(a, xte))
+	accOne := Accuracy(yte, PredictBatch(one, xte))
+	if accBoost <= accOne {
+		t.Fatalf("boosting (%v) should beat a single stump (%v) on XOR", accBoost, accOne)
+	}
+}
+
+func TestAdaBoostThreeClassSAMME(t *testing.T) {
+	x, y := synthThreeClass(600, 3, 18)
+	xtr, ytr, xte, yte := holdout(x, y)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 80})
+	if err := a.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(yte, PredictBatch(a, xte)); acc < 0.85 {
+		t.Fatalf("SAMME 3-class accuracy = %v", acc)
+	}
+	if len(a.Classes()) != 3 {
+		t.Fatalf("classes = %v", a.Classes())
+	}
+}
+
+func TestAdaBoostSingleClassFallback(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []int{4, 4, 4}
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 10})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Predict([]float64{9}); got != 4 {
+		t.Fatalf("single-class fallback predicted %d", got)
+	}
+}
+
+func TestAdaBoostImportancesConcentrate(t *testing.T) {
+	x, y := synthBinary(500, 2, 8, 0.3, 19)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 40})
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := a.Importances()
+	if imp[0]+imp[1] < 0.6 {
+		t.Fatalf("stumps should concentrate on informative features: %v", imp)
+	}
+}
+
+func TestKNNLearns(t *testing.T) {
+	x, y := synthBinary(500, 3, 3, 0.3, 20)
+	xtr, ytr, xte, yte := holdout(x, y)
+	k := NewKNN(KNNConfig{K: 5})
+	if err := k.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1Score(yte, PredictBatch(k, xte), 1); f1 < 0.88 {
+		t.Fatalf("knn F1 = %v", f1)
+	}
+	if k.Name() != "KNN" {
+		t.Fatalf("name = %q", k.Name())
+	}
+}
+
+func TestKNNStandardizationMatters(t *testing.T) {
+	// Informative feature on a tiny scale, noise feature on a huge one;
+	// without scaling KNN would be dominated by the noise.
+	x := make([][]float64, 0, 200)
+	y := make([]int, 0, 200)
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		info := 0.001 * float64(label)
+		noise := float64((i * 7919 % 1000)) // pseudo-noise, huge scale
+		x = append(x, []float64{info, noise})
+		y = append(y, label)
+	}
+	k := NewKNN(KNNConfig{K: 3})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if k.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Fatalf("scaled KNN accuracy = %v; standardization is broken", acc)
+	}
+}
+
+func TestKNNSmallK(t *testing.T) {
+	x := [][]float64{{0}, {1}, {10}}
+	y := []int{0, 0, 1}
+	k := NewKNN(KNNConfig{K: 1})
+	if err := k.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if k.Predict([]float64{9.5}) != 1 {
+		t.Fatal("1-NN should follow the nearest point")
+	}
+	if k.Predict([]float64{0.4}) != 0 {
+		t.Fatal("1-NN near class 0 should predict 0")
+	}
+}
+
+func TestScalerZeroVariance(t *testing.T) {
+	s := NewScaler()
+	s.Fit([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	out := s.Transform([]float64{5, 2})
+	if out[0] != 0 {
+		t.Fatalf("zero-variance feature should transform to 0, got %v", out[0])
+	}
+	if math.Abs(out[1]) > 1e-9 {
+		t.Fatalf("mean value should transform to 0, got %v", out[1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width transform should panic")
+		}
+	}()
+	s.Transform([]float64{1})
+}

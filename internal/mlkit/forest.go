@@ -1,0 +1,149 @@
+package mlkit
+
+import (
+	"fmt"
+
+	"rush/internal/sim"
+)
+
+// ForestConfig controls ensemble training for Random Forests and Extra
+// Trees.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds each tree (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size (default 1).
+	MinLeaf int
+	// MaxFeatures is the per-split candidate count (default SqrtFeatures).
+	MaxFeatures int
+	// Seed drives bootstrapping and per-tree randomness.
+	Seed int64
+}
+
+func (c *ForestConfig) fill() {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = SqrtFeatures
+	}
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 1
+	}
+}
+
+// Forest is a bagged ensemble of CART trees. Use NewRandomForest (the
+// paper's "Decision Forest": bootstrap sampling + exact splits) or
+// NewExtraTrees (no bootstrap + random-threshold splits).
+type Forest struct {
+	cfg       ForestConfig
+	bootstrap bool
+	randomThr bool
+	name      string
+	trees     []*Tree
+	classes   []int
+	imp       []float64
+}
+
+// NewRandomForest returns a Random Forest classifier.
+func NewRandomForest(cfg ForestConfig) *Forest {
+	cfg.fill()
+	return &Forest{cfg: cfg, bootstrap: true, name: "DecisionForest"}
+}
+
+// NewExtraTrees returns an Extremely Randomized Trees classifier.
+func NewExtraTrees(cfg ForestConfig) *Forest {
+	cfg.fill()
+	return &Forest{cfg: cfg, randomThr: true, name: "ExtraTrees"}
+}
+
+// Name implements Classifier.
+func (f *Forest) Name() string { return f.name }
+
+// Fit implements Classifier.
+func (f *Forest) Fit(x [][]float64, y []int) error {
+	nf, err := validateXY(x, y)
+	if err != nil {
+		return err
+	}
+	f.classes = classSet(y)
+	f.trees = make([]*Tree, f.cfg.Trees)
+	f.imp = make([]float64, nf)
+	rng := sim.NewSource(f.cfg.Seed).Derive("forest")
+
+	for t := 0; t < f.cfg.Trees; t++ {
+		tx, ty := x, y
+		if f.bootstrap {
+			tx = make([][]float64, len(x))
+			ty = make([]int, len(y))
+			for i := range tx {
+				j := rng.Intn(len(x))
+				tx[i] = x[j]
+				ty[i] = y[j]
+			}
+		}
+		tree := NewTree(TreeConfig{
+			MaxDepth:        f.cfg.MaxDepth,
+			MinLeaf:         f.cfg.MinLeaf,
+			MaxFeatures:     f.cfg.MaxFeatures,
+			RandomThreshold: f.randomThr,
+			Seed:            rng.Int63(),
+		})
+		if err := tree.Fit(tx, ty); err != nil {
+			return fmt.Errorf("mlkit: tree %d: %w", t, err)
+		}
+		f.trees[t] = tree
+		for i, v := range tree.Importances() {
+			f.imp[i] += v
+		}
+	}
+	var total float64
+	for _, v := range f.imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.imp {
+			f.imp[i] /= total
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier by soft-voting tree probabilities.
+func (f *Forest) Predict(sample []float64) int {
+	probs := f.PredictProba(sample)
+	return f.classes[argmax(probs)]
+}
+
+// PredictProba returns the ensemble-average class distribution for
+// sample, in Classes order.
+func (f *Forest) PredictProba(sample []float64) []float64 {
+	if len(f.trees) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	// A bootstrap resample can miss a rare class, so each tree's class
+	// list is mapped into the forest's.
+	pos := map[int]int{}
+	for i, c := range f.classes {
+		pos[c] = i
+	}
+	probs := make([]float64, len(f.classes))
+	for _, t := range f.trees {
+		tp := t.PredictProba(sample)
+		for i, c := range t.Classes() {
+			probs[pos[c]] += tp[i]
+		}
+	}
+	for i := range probs {
+		probs[i] /= float64(len(f.trees))
+	}
+	return probs
+}
+
+// Classes returns the sorted training labels.
+func (f *Forest) Classes() []int { return f.classes }
+
+// Importances implements ImportanceReporter by averaging per-tree Gini
+// importances.
+func (f *Forest) Importances() []float64 { return f.imp }

@@ -1,0 +1,213 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+
+	"rush/internal/sim"
+)
+
+// GBMConfig controls the gradient-boosting classifier.
+type GBMConfig struct {
+	// Rounds is the number of boosting stages (default 100).
+	Rounds int
+	// LearningRate shrinks each stage (default 0.1).
+	LearningRate float64
+	// MaxDepth bounds each regression tree (default 3).
+	MaxDepth int
+	// MinLeaf is the per-tree minimum leaf size (default 5).
+	MinLeaf int
+	// Subsample is the per-stage row sampling fraction (default 0.8,
+	// i.e. stochastic gradient boosting).
+	Subsample float64
+	// MaxFeatures bounds the per-split feature scan of each regression
+	// tree (0 = all features; SqrtFeatures = sqrt rule).
+	MaxFeatures int
+	// Seed drives subsampling.
+	Seed int64
+}
+
+func (c *GBMConfig) fill() {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 0.8
+	}
+}
+
+// GBM is a gradient-boosted-trees classifier: binomial deviance for two
+// classes, one-vs-rest for more. It extends the paper's model zoo — the
+// natural modern successor to AdaBoost over the same data.
+type GBM struct {
+	cfg     GBMConfig
+	classes []int
+	// ensembles[k] boosts the indicator of classes[k]; for binary
+	// problems only ensembles[1] is trained (class 0 is its complement).
+	ensembles [][]*RegTree
+	base      []float64 // initial log-odds per class
+}
+
+// NewGBM returns an untrained gradient-boosting classifier.
+func NewGBM(cfg GBMConfig) *GBM {
+	cfg.fill()
+	return &GBM{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (g *GBM) Name() string { return "GradientBoosting" }
+
+// Fit implements Classifier.
+func (g *GBM) Fit(x [][]float64, y []int) error {
+	if _, err := validateXY(x, y); err != nil {
+		return err
+	}
+	g.classes = classSet(y)
+	k := len(g.classes)
+	if k < 2 {
+		// Degenerate single-class data: predict it always.
+		g.ensembles = nil
+		g.base = []float64{0}
+		return nil
+	}
+
+	heads := k
+	if k == 2 {
+		heads = 1 // binary: boost class classes[1] vs rest
+	}
+	g.ensembles = make([][]*RegTree, heads)
+	g.base = make([]float64, heads)
+	rng := sim.NewSource(g.cfg.Seed).Derive("gbm")
+
+	for h := 0; h < heads; h++ {
+		target := g.classes[h]
+		if k == 2 {
+			target = g.classes[1]
+		}
+		ind := make([]float64, len(y))
+		var pos float64
+		for i, label := range y {
+			if label == target {
+				ind[i] = 1
+				pos++
+			}
+		}
+		// Initial score: log-odds of the class prior.
+		p := clampProb(pos / float64(len(y)))
+		g.base[h] = math.Log(p / (1 - p))
+
+		scores := make([]float64, len(y))
+		for i := range scores {
+			scores[i] = g.base[h]
+		}
+		grad := make([]float64, len(y))
+		for round := 0; round < g.cfg.Rounds; round++ {
+			// Negative gradient of binomial deviance: residual y - p.
+			for i := range grad {
+				grad[i] = ind[i] - sigmoid(scores[i])
+			}
+			sx, sg := g.subsample(x, grad, rng)
+			tree := NewRegTree(TreeConfig{
+				MaxDepth:    g.cfg.MaxDepth,
+				MinLeaf:     g.cfg.MinLeaf,
+				MaxFeatures: g.cfg.MaxFeatures,
+				Seed:        rng.Int63(),
+			})
+			if err := tree.Fit(sx, sg); err != nil {
+				return fmt.Errorf("mlkit: gbm head %d round %d: %w", h, round, err)
+			}
+			g.ensembles[h] = append(g.ensembles[h], tree)
+			for i, row := range x {
+				scores[i] += g.cfg.LearningRate * tree.Predict(row)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *GBM) subsample(x [][]float64, grad []float64, rng *sim.Source) ([][]float64, []float64) {
+	if g.cfg.Subsample >= 1 {
+		return x, grad
+	}
+	n := int(g.cfg.Subsample * float64(len(x)))
+	if n < 2 {
+		n = len(x)
+	}
+	perm := rng.Perm(len(x))[:n]
+	sx := make([][]float64, n)
+	sg := make([]float64, n)
+	for i, p := range perm {
+		sx[i] = x[p]
+		sg[i] = grad[p]
+	}
+	return sx, sg
+}
+
+// score returns each head's boosted log-odds for sample.
+func (g *GBM) score(sample []float64) []float64 {
+	out := make([]float64, len(g.ensembles))
+	for h, trees := range g.ensembles {
+		s := g.base[h]
+		for _, t := range trees {
+			s += g.cfg.LearningRate * t.Predict(sample)
+		}
+		out[h] = s
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (g *GBM) Predict(sample []float64) int {
+	probs := g.PredictProba(sample)
+	return g.classes[argmax(probs)]
+}
+
+// PredictProba returns per-class probabilities in Classes order (sigmoid
+// for binary, normalized one-vs-rest sigmoids otherwise).
+func (g *GBM) PredictProba(sample []float64) []float64 {
+	if len(g.classes) == 1 {
+		return []float64{1}
+	}
+	scores := g.score(sample)
+	if len(g.classes) == 2 {
+		p := sigmoid(scores[0])
+		return []float64{1 - p, p}
+	}
+	probs := make([]float64, len(g.classes))
+	var total float64
+	for h := range probs {
+		probs[h] = sigmoid(scores[h])
+		total += probs[h]
+	}
+	if total > 0 {
+		for h := range probs {
+			probs[h] /= total
+		}
+	}
+	return probs
+}
+
+// Classes returns the sorted training labels.
+func (g *GBM) Classes() []int { return g.classes }
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func clampProb(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

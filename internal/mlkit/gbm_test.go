@@ -1,0 +1,130 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegTreeFitsMeanStructure(t *testing.T) {
+	// Piecewise-constant target on one feature.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 2.0)
+		} else {
+			y = append(y, 8.0)
+		}
+	}
+	tree := NewRegTree(TreeConfig{MaxDepth: 3})
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{0.2}); math.Abs(got-2) > 0.1 {
+		t.Fatalf("low segment predicted %v", got)
+	}
+	if got := tree.Predict([]float64{0.9}); math.Abs(got-8) > 0.1 {
+		t.Fatalf("high segment predicted %v", got)
+	}
+}
+
+func TestRegTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	tree := NewRegTree(TreeConfig{})
+	if err := tree.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{99}); got != 5 {
+		t.Fatalf("constant target predicted %v", got)
+	}
+	if len(tree.nodes) != 1 {
+		t.Fatal("constant target should produce one leaf")
+	}
+}
+
+func TestRegTreeErrors(t *testing.T) {
+	tree := NewRegTree(TreeConfig{})
+	if err := tree.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+	if err := tree.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestGBMBinary(t *testing.T) {
+	x, y := synthBinary(600, 3, 4, 0.25, 61)
+	xtr, ytr, xte, yte := holdout(x, y)
+	g := NewGBM(GBMConfig{Rounds: 60, Seed: 1})
+	if err := g.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if f1 := F1Score(yte, PredictBatch(g, xte), 1); f1 < 0.9 {
+		t.Fatalf("gbm F1 = %v", f1)
+	}
+	if g.Name() != "GradientBoosting" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	assertProba(t, g, xte[:30])
+}
+
+func TestGBMThreeClass(t *testing.T) {
+	x, y := synthThreeClass(600, 2, 62)
+	xtr, ytr, xte, yte := holdout(x, y)
+	g := NewGBM(GBMConfig{Rounds: 50, Seed: 2})
+	if err := g.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(yte, PredictBatch(g, xte)); acc < 0.85 {
+		t.Fatalf("3-class gbm accuracy = %v", acc)
+	}
+	if len(g.Classes()) != 3 {
+		t.Fatalf("classes = %v", g.Classes())
+	}
+	assertProba(t, g, xte[:30])
+}
+
+func TestGBMSingleClass(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []int{3, 3}
+	g := NewGBM(GBMConfig{Rounds: 5})
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if g.Predict([]float64{0}) != 3 {
+		t.Fatal("single-class gbm should predict that class")
+	}
+}
+
+func TestGBMLearnsXOR(t *testing.T) {
+	// Depth-3 regression trees capture the interaction stumps cannot.
+	x, y := synthXOR(600, 63)
+	xtr, ytr, xte, yte := holdout(x, y)
+	g := NewGBM(GBMConfig{Rounds: 120, MaxDepth: 4, Seed: 3})
+	if err := g.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(yte, PredictBatch(g, xte)); acc < 0.93 {
+		t.Fatalf("gbm XOR accuracy = %v", acc)
+	}
+}
+
+func TestGBMDeterministic(t *testing.T) {
+	x, y := synthBinary(200, 2, 2, 0.3, 64)
+	fit := func() []int {
+		g := NewGBM(GBMConfig{Rounds: 20, Seed: 9})
+		if err := g.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return PredictBatch(g, x)
+	}
+	a, b := fit(), fit()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("gbm not deterministic under a fixed seed")
+		}
+	}
+}

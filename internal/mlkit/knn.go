@@ -1,0 +1,195 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNConfig controls the K-Nearest-Neighbors classifier.
+type KNNConfig struct {
+	// K is the neighborhood size (default 5).
+	K int
+}
+
+// KNN is a K-Nearest-Neighbors classifier with per-feature
+// standardization (counters live on wildly different scales, so raw
+// Euclidean distance would be dominated by the largest counters).
+type KNN struct {
+	cfg     KNNConfig
+	x       [][]float64
+	y       []int
+	classes []int
+	scaler  *Scaler
+}
+
+// NewKNN returns an untrained KNN classifier.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Classifier by memorizing the standardized training set.
+func (k *KNN) Fit(x [][]float64, y []int) error {
+	if _, err := validateXY(x, y); err != nil {
+		return err
+	}
+	k.scaler = NewScaler()
+	k.scaler.Fit(x)
+	k.x = k.scaler.TransformAll(x)
+	k.y = append([]int(nil), y...)
+	k.classes = classSet(y)
+	return nil
+}
+
+// Predict implements Classifier with a plurality vote over the K nearest
+// training samples; ties break toward the smaller class label.
+func (k *KNN) Predict(sample []float64) int {
+	if len(k.x) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	q := k.scaler.Transform(sample)
+	type hit struct {
+		d float64
+		y int
+	}
+	hits := make([]hit, len(k.x))
+	for i, row := range k.x {
+		var d float64
+		for j := range row {
+			diff := row[j] - q[j]
+			d += diff * diff
+		}
+		hits[i] = hit{d: d, y: k.y[i]}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d != hits[b].d {
+			return hits[a].d < hits[b].d
+		}
+		return hits[a].y < hits[b].y
+	})
+	kk := k.cfg.K
+	if kk > len(hits) {
+		kk = len(hits)
+	}
+	votes := map[int]int{}
+	for _, h := range hits[:kk] {
+		votes[h.y]++
+	}
+	best, bestN := -1, -1
+	for _, c := range k.classes {
+		if votes[c] > bestN {
+			best, bestN = c, votes[c]
+		}
+	}
+	return best
+}
+
+// Classes returns the sorted training labels.
+func (k *KNN) Classes() []int { return k.classes }
+
+// PredictProba returns the neighborhood vote fractions per class, in
+// Classes order.
+func (k *KNN) PredictProba(sample []float64) []float64 {
+	if len(k.x) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	q := k.scaler.Transform(sample)
+	type hit struct {
+		d float64
+		y int
+	}
+	hits := make([]hit, len(k.x))
+	for i, row := range k.x {
+		var d float64
+		for j := range row {
+			diff := row[j] - q[j]
+			d += diff * diff
+		}
+		hits[i] = hit{d: d, y: k.y[i]}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d != hits[b].d {
+			return hits[a].d < hits[b].d
+		}
+		return hits[a].y < hits[b].y
+	})
+	kk := k.cfg.K
+	if kk > len(hits) {
+		kk = len(hits)
+	}
+	probs := make([]float64, len(k.classes))
+	pos := map[int]int{}
+	for i, c := range k.classes {
+		pos[c] = i
+	}
+	for _, h := range hits[:kk] {
+		probs[pos[h.y]] += 1 / float64(kk)
+	}
+	return probs
+}
+
+// Scaler standardizes features to zero mean and unit variance.
+// Zero-variance features transform to zero.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// NewScaler returns an unfit scaler.
+func NewScaler() *Scaler { return &Scaler{} }
+
+// Fit computes per-feature means and standard deviations.
+func (s *Scaler) Fit(x [][]float64) {
+	if len(x) == 0 {
+		return
+	}
+	nf := len(x[0])
+	s.Mean = make([]float64, nf)
+	s.Std = make([]float64, nf)
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= float64(len(x))
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / float64(len(x)))
+	}
+}
+
+// Transform standardizes one sample.
+func (s *Scaler) Transform(row []float64) []float64 {
+	if len(row) != len(s.Mean) {
+		panic(fmt.Sprintf("mlkit: scaler saw %d features, sample has %d", len(s.Mean), len(row)))
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		if s.Std[j] > 0 {
+			out[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// TransformAll standardizes every row.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package mlkit
+
+import (
+	"testing"
+)
+
+func TestPermutationImportanceFindsInformativeFeatures(t *testing.T) {
+	x, y := synthBinary(500, 2, 5, 0.3, 51)
+	xtr, ytr, xte, yte := holdout(x, y)
+	m := NewRandomForest(ForestConfig{Trees: 20, MaxDepth: 6, Seed: 1})
+	if err := m.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(m, xte, yte, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 7 {
+		t.Fatalf("importances length = %d", len(imp))
+	}
+	// The two informative columns must outrank every noise column.
+	top := TopFeatures(imp, 2)
+	for _, f := range top {
+		if f >= 2 {
+			t.Fatalf("noise feature %d ranked in the top 2: %v", f, imp)
+		}
+	}
+	// Inputs must not be mutated.
+	x2, _ := synthBinary(500, 2, 5, 0.3, 51)
+	for i := range x {
+		for j := range x[i] {
+			if x[i][j] != x2[i][j] {
+				t.Fatal("PermutationImportance mutated the input matrix")
+			}
+		}
+	}
+}
+
+func TestPermutationImportanceWorksForKNN(t *testing.T) {
+	// KNN has no native importances; permutation gives it one.
+	x, y := synthBinary(300, 2, 3, 0.3, 52)
+	xtr, ytr, xte, yte := holdout(x, y)
+	m := NewKNN(KNNConfig{K: 5})
+	if err := m.Fit(xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(m, xte, yte, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0]+imp[1] <= imp[2]+imp[3]+imp[4] {
+		t.Fatalf("informative features should dominate: %v", imp)
+	}
+}
+
+func TestPermutationImportanceErrors(t *testing.T) {
+	m := NewTree(TreeConfig{})
+	if _, err := PermutationImportance(m, nil, nil, 1, 1, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7}
+	top := TopFeatures(scores, 3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized k should panic")
+		}
+	}()
+	TopFeatures(scores, 5)
+}

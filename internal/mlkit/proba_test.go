@@ -1,0 +1,72 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+)
+
+// assertProba checks PredictProba's contract: aligned with Classes,
+// sums to one, and argmax agrees with Predict.
+func assertProba(t *testing.T, m ProbaPredictor, x [][]float64) {
+	t.Helper()
+	classes := m.Classes()
+	for i, row := range x {
+		probs := m.PredictProba(row)
+		if len(probs) != len(classes) {
+			t.Fatalf("sample %d: %d probs for %d classes", i, len(probs), len(classes))
+		}
+		var sum float64
+		for _, p := range probs {
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("sample %d: probability out of range: %v", i, probs)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sample %d: probabilities sum to %v", i, sum)
+		}
+		if classes[argmax(probs)] != m.Predict(row) {
+			t.Fatalf("sample %d: argmax(proba) disagrees with Predict", i)
+		}
+	}
+}
+
+func TestAllModelsImplementProbaPredictor(t *testing.T) {
+	x, y := synthThreeClass(300, 2, 41)
+	xtr, ytr, xte, _ := holdout(x, y)
+	models := []ProbaPredictor{
+		NewTree(TreeConfig{MaxDepth: 5}),
+		NewRandomForest(ForestConfig{Trees: 10, MaxDepth: 5, Seed: 1}),
+		NewExtraTrees(ForestConfig{Trees: 10, MaxDepth: 7, Seed: 2}),
+		NewAdaBoost(AdaBoostConfig{Rounds: 30}),
+		NewAdaBoost(AdaBoostConfig{Rounds: 15, Depth: 2, Seed: 3}),
+		NewKNN(KNNConfig{K: 5}),
+	}
+	for _, m := range models {
+		if err := m.Fit(xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		assertProba(t, m, xte[:40])
+	}
+}
+
+func TestProbaReflectsConfidence(t *testing.T) {
+	// Far from the class boundary the positive-class probability should
+	// be near 1; near the boundary it should be lower.
+	x, y := synthBinary(600, 2, 1, 0.3, 42)
+	f := NewRandomForest(ForestConfig{Trees: 30, MaxDepth: 6, Seed: 4})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Build an unambiguous positive: all informative features very high.
+	strong := []float64{1.2, 2.4, 0}
+	probs := f.PredictProba(strong)
+	if probs[1] < 0.9 {
+		t.Fatalf("confident positive should have high probability: %v", probs)
+	}
+	calm := []float64{0.1, 0.2, 0}
+	probs = f.PredictProba(calm)
+	if probs[0] < 0.9 {
+		t.Fatalf("confident negative should have high probability: %v", probs)
+	}
+}

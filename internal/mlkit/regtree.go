@@ -1,0 +1,180 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rush/internal/sim"
+)
+
+// RegTree is a CART regression tree (variance-reduction splits, mean
+// leaves). It is the weak learner of the gradient-boosting classifier.
+type RegTree struct {
+	cfg       TreeConfig
+	nFeatures int
+	nodes     []regNode
+}
+
+type regNode struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Leaf      bool
+	Value     float64
+}
+
+// NewRegTree returns an untrained regression tree. RandomThreshold in the
+// config selects Extra-Trees-style random splits.
+func NewRegTree(cfg TreeConfig) *RegTree {
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	return &RegTree{cfg: cfg}
+}
+
+// Fit trains on continuous targets.
+func (t *RegTree) Fit(x [][]float64, targets []float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("mlkit: empty regression training set")
+	}
+	if len(x) != len(targets) {
+		return fmt.Errorf("mlkit: %d samples but %d targets", len(x), len(targets))
+	}
+	t.nFeatures = len(x[0])
+	t.nodes = t.nodes[:0]
+	samples := make([]int, len(x))
+	for i := range samples {
+		samples[i] = i
+	}
+	b := &regBuilder{t: t, x: x, y: targets, rng: sim.NewSource(t.cfg.Seed)}
+	b.build(samples, 1)
+	return nil
+}
+
+// Predict returns the leaf mean for one sample.
+func (t *RegTree) Predict(sample []float64) float64 {
+	if len(t.nodes) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.Leaf {
+			return n.Value
+		}
+		if sample[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+type regBuilder struct {
+	t   *RegTree
+	x   [][]float64
+	y   []float64
+	rng *sim.Source
+}
+
+func (b *regBuilder) build(samples []int, depth int) int {
+	var sum, sumSq float64
+	for _, s := range samples {
+		sum += b.y[s]
+		sumSq += b.y[s] * b.y[s]
+	}
+	n := float64(len(samples))
+	mean := sum / n
+	sse := sumSq - sum*sum/n // total squared error around the mean
+
+	leaf := func() int {
+		b.t.nodes = append(b.t.nodes, regNode{Leaf: true, Value: mean})
+		return len(b.t.nodes) - 1
+	}
+	if len(samples) < 2*b.t.cfg.MinLeaf || sse <= 1e-12 {
+		return leaf()
+	}
+	if b.t.cfg.MaxDepth > 0 && depth >= b.t.cfg.MaxDepth {
+		return leaf()
+	}
+
+	feat, thr, gain := b.bestSplit(samples, sum, sse)
+	if feat < 0 || gain <= 1e-12 {
+		return leaf()
+	}
+	var left, right []int
+	for _, s := range samples {
+		if b.x[s][feat] <= thr {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	if len(left) < b.t.cfg.MinLeaf || len(right) < b.t.cfg.MinLeaf {
+		return leaf()
+	}
+	idx := len(b.t.nodes)
+	b.t.nodes = append(b.t.nodes, regNode{Feature: feat, Threshold: thr})
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.t.nodes[idx].Left = l
+	b.t.nodes[idx].Right = r
+	return idx
+}
+
+// bestSplit maximizes SSE reduction over the candidate features.
+func (b *regBuilder) bestSplit(samples []int, total, parentSSE float64) (int, float64, float64) {
+	nf := b.t.nFeatures
+	nCand := b.t.cfg.MaxFeatures
+	switch {
+	case nCand == SqrtFeatures:
+		nCand = int(math.Sqrt(float64(nf)))
+		if nCand < 1 {
+			nCand = 1
+		}
+	case nCand <= 0 || nCand > nf:
+		nCand = nf
+	}
+	var candidates []int
+	if nCand == nf {
+		candidates = make([]int, nf)
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		candidates = b.rng.Perm(nf)[:nCand]
+	}
+
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	order := make([]int, len(samples))
+	for _, f := range candidates {
+		copy(order, samples)
+		sort.Slice(order, func(i, j int) bool { return b.x[order[i]][f] < b.x[order[j]][f] })
+
+		var leftSum, leftSumSq float64
+		for i := 0; i < len(order)-1; i++ {
+			s := order[i]
+			leftSum += b.y[s]
+			leftSumSq += b.y[s] * b.y[s]
+			v, next := b.x[s][f], b.x[order[i+1]][f]
+			if v == next {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := float64(len(order) - i - 1)
+			if int(nl) < b.t.cfg.MinLeaf || int(nr) < b.t.cfg.MinLeaf {
+				continue
+			}
+			rightSum := total - leftSum
+			// SSE after split = parent terms minus the between-group part.
+			gain := leftSum*leftSum/nl + rightSum*rightSum/nr - total*total/float64(len(order))
+			if gain > bestGain {
+				bestFeat, bestThr, bestGain = f, v+(next-v)/2, gain
+			}
+		}
+	}
+	_ = parentSSE
+	return bestFeat, bestThr, bestGain
+}

@@ -1,0 +1,225 @@
+package mlkit
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Trained models are exported to JSON so the collection/training binaries
+// can hand a model to the scheduler binary, mirroring the paper's pickled
+// scikit-learn models handed to the Flux plugin.
+
+type serializedModel struct {
+	Kind   string          `json:"kind"`
+	Tree   *treePayload    `json:"tree,omitempty"`
+	Forest *forestPayload  `json:"forest,omitempty"`
+	Ada    *adaPayload     `json:"adaboost,omitempty"`
+	KNN    *knnPayload     `json:"knn,omitempty"`
+	GBM    *gbmPayload     `json:"gbm,omitempty"`
+	Meta   json.RawMessage `json:"meta,omitempty"`
+}
+
+type treePayload struct {
+	Config      TreeConfig `json:"config"`
+	Classes     []int      `json:"classes"`
+	NFeatures   int        `json:"n_features"`
+	Nodes       []treeNode `json:"nodes"`
+	Importances []float64  `json:"importances"`
+	Name        string     `json:"name"`
+}
+
+type forestPayload struct {
+	Config      ForestConfig  `json:"config"`
+	Bootstrap   bool          `json:"bootstrap"`
+	RandomThr   bool          `json:"random_threshold"`
+	Name        string        `json:"name"`
+	Classes     []int         `json:"classes"`
+	Trees       []treePayload `json:"trees"`
+	Importances []float64     `json:"importances"`
+}
+
+type adaPayload struct {
+	Config      AdaBoostConfig `json:"config"`
+	Classes     []int          `json:"classes"`
+	Stumps      []stump        `json:"stumps"`
+	Trees       []treePayload  `json:"trees,omitempty"`
+	Alphas      []float64      `json:"alphas"`
+	Importances []float64      `json:"importances"`
+}
+
+type knnPayload struct {
+	Config  KNNConfig   `json:"config"`
+	X       [][]float64 `json:"x"`
+	Y       []int       `json:"y"`
+	Classes []int       `json:"classes"`
+	Scaler  *Scaler     `json:"scaler"`
+}
+
+type regTreePayload struct {
+	Config    TreeConfig `json:"config"`
+	NFeatures int        `json:"n_features"`
+	Nodes     []regNode  `json:"nodes"`
+}
+
+type gbmPayload struct {
+	Config    GBMConfig          `json:"config"`
+	Classes   []int              `json:"classes"`
+	Ensembles [][]regTreePayload `json:"ensembles"`
+	Base      []float64          `json:"base"`
+}
+
+func treeToPayload(t *Tree) treePayload {
+	return treePayload{
+		Config:      t.cfg,
+		Classes:     t.classes,
+		NFeatures:   t.nFeatures,
+		Nodes:       t.nodes,
+		Importances: t.imp,
+		Name:        t.name,
+	}
+}
+
+func treeFromPayload(p treePayload) *Tree {
+	return &Tree{
+		cfg:       p.Config,
+		classes:   p.Classes,
+		nFeatures: p.NFeatures,
+		nodes:     p.Nodes,
+		imp:       p.Importances,
+		name:      p.Name,
+	}
+}
+
+// SaveModel serializes a trained classifier to JSON. Supported concrete
+// types: *Tree, *Forest, *AdaBoost, *KNN.
+func SaveModel(c Classifier) ([]byte, error) {
+	var sm serializedModel
+	switch m := c.(type) {
+	case *Tree:
+		sm.Kind = "tree"
+		p := treeToPayload(m)
+		sm.Tree = &p
+	case *Forest:
+		sm.Kind = "forest"
+		fp := forestPayload{
+			Config:      m.cfg,
+			Bootstrap:   m.bootstrap,
+			RandomThr:   m.randomThr,
+			Name:        m.name,
+			Classes:     m.classes,
+			Importances: m.imp,
+		}
+		for _, t := range m.trees {
+			fp.Trees = append(fp.Trees, treeToPayload(t))
+		}
+		sm.Forest = &fp
+	case *AdaBoost:
+		sm.Kind = "adaboost"
+		ap := &adaPayload{
+			Config:      m.cfg,
+			Classes:     m.classes,
+			Stumps:      m.stumps,
+			Alphas:      m.alphas,
+			Importances: m.imp,
+		}
+		for _, t := range m.trees {
+			ap.Trees = append(ap.Trees, treeToPayload(t))
+		}
+		sm.Ada = ap
+	case *KNN:
+		sm.Kind = "knn"
+		sm.KNN = &knnPayload{
+			Config:  m.cfg,
+			X:       m.x,
+			Y:       m.y,
+			Classes: m.classes,
+			Scaler:  m.scaler,
+		}
+	case *GBM:
+		sm.Kind = "gbm"
+		gp := &gbmPayload{Config: m.cfg, Classes: m.classes, Base: m.base}
+		for _, head := range m.ensembles {
+			var trees []regTreePayload
+			for _, t := range head {
+				trees = append(trees, regTreePayload{Config: t.cfg, NFeatures: t.nFeatures, Nodes: t.nodes})
+			}
+			gp.Ensembles = append(gp.Ensembles, trees)
+		}
+		sm.GBM = gp
+	default:
+		return nil, fmt.Errorf("mlkit: cannot serialize %T", c)
+	}
+	return json.Marshal(sm)
+}
+
+// LoadModel deserializes a classifier saved by SaveModel.
+func LoadModel(data []byte) (Classifier, error) {
+	var sm serializedModel
+	if err := json.Unmarshal(data, &sm); err != nil {
+		return nil, fmt.Errorf("mlkit: decode model: %w", err)
+	}
+	switch sm.Kind {
+	case "tree":
+		if sm.Tree == nil {
+			return nil, fmt.Errorf("mlkit: tree model missing payload")
+		}
+		return treeFromPayload(*sm.Tree), nil
+	case "forest":
+		if sm.Forest == nil {
+			return nil, fmt.Errorf("mlkit: forest model missing payload")
+		}
+		f := &Forest{
+			cfg:       sm.Forest.Config,
+			bootstrap: sm.Forest.Bootstrap,
+			randomThr: sm.Forest.RandomThr,
+			name:      sm.Forest.Name,
+			classes:   sm.Forest.Classes,
+			imp:       sm.Forest.Importances,
+		}
+		for _, tp := range sm.Forest.Trees {
+			f.trees = append(f.trees, treeFromPayload(tp))
+		}
+		return f, nil
+	case "adaboost":
+		if sm.Ada == nil {
+			return nil, fmt.Errorf("mlkit: adaboost model missing payload")
+		}
+		a := &AdaBoost{
+			cfg:     sm.Ada.Config,
+			classes: sm.Ada.Classes,
+			stumps:  sm.Ada.Stumps,
+			alphas:  sm.Ada.Alphas,
+			imp:     sm.Ada.Importances,
+		}
+		for _, tp := range sm.Ada.Trees {
+			a.trees = append(a.trees, treeFromPayload(tp))
+		}
+		return a, nil
+	case "knn":
+		if sm.KNN == nil {
+			return nil, fmt.Errorf("mlkit: knn model missing payload")
+		}
+		return &KNN{
+			cfg:     sm.KNN.Config,
+			x:       sm.KNN.X,
+			y:       sm.KNN.Y,
+			classes: sm.KNN.Classes,
+			scaler:  sm.KNN.Scaler,
+		}, nil
+	case "gbm":
+		if sm.GBM == nil {
+			return nil, fmt.Errorf("mlkit: gbm model missing payload")
+		}
+		g := &GBM{cfg: sm.GBM.Config, classes: sm.GBM.Classes, base: sm.GBM.Base}
+		for _, head := range sm.GBM.Ensembles {
+			var trees []*RegTree
+			for _, tp := range head {
+				trees = append(trees, &RegTree{cfg: tp.Config, nFeatures: tp.NFeatures, nodes: tp.Nodes})
+			}
+			g.ensembles = append(g.ensembles, trees)
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("mlkit: unknown model kind %q", sm.Kind)
+	}
+}

@@ -1,0 +1,122 @@
+package mlkit
+
+import (
+	"testing"
+)
+
+// roundTrip saves and reloads a model, asserting identical predictions on
+// the training matrix.
+func roundTrip(t *testing.T, m Classifier, x [][]float64) Classifier {
+	t.Helper()
+	data, err := SaveModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name() != m.Name() {
+		t.Fatalf("name changed: %q -> %q", m.Name(), loaded.Name())
+	}
+	a, b := PredictBatch(m, x), PredictBatch(loaded, x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d changed after round trip: %d -> %d", i, a[i], b[i])
+		}
+	}
+	return loaded
+}
+
+func TestSaveLoadTree(t *testing.T) {
+	x, y := synthBinary(200, 2, 2, 0.3, 31)
+	m := NewTree(TreeConfig{MaxDepth: 5})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x)
+}
+
+func TestSaveLoadForest(t *testing.T) {
+	x, y := synthBinary(200, 2, 2, 0.3, 32)
+	m := NewRandomForest(ForestConfig{Trees: 8, MaxDepth: 4, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, m, x).(*Forest)
+	if len(loaded.Importances()) != 4 {
+		t.Fatal("importances lost in round trip")
+	}
+}
+
+func TestSaveLoadExtraTrees(t *testing.T) {
+	x, y := synthBinary(200, 2, 2, 0.3, 33)
+	m := NewExtraTrees(ForestConfig{Trees: 8, MaxDepth: 6, Seed: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x)
+}
+
+func TestSaveLoadAdaBoost(t *testing.T) {
+	x, y := synthBinary(200, 2, 2, 0.3, 34)
+	m := NewAdaBoost(AdaBoostConfig{Rounds: 20})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x)
+}
+
+func TestSaveLoadKNN(t *testing.T) {
+	x, y := synthBinary(120, 2, 2, 0.3, 35)
+	m := NewKNN(KNNConfig{K: 3})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x)
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel([]byte("not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if _, err := LoadModel([]byte(`{"kind":"alien"}`)); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, err := LoadModel([]byte(`{"kind":"forest"}`)); err == nil {
+		t.Fatal("missing payload should error")
+	}
+	if _, err := LoadModel([]byte(`{"kind":"tree"}`)); err == nil {
+		t.Fatal("missing tree payload should error")
+	}
+	if _, err := LoadModel([]byte(`{"kind":"adaboost"}`)); err == nil {
+		t.Fatal("missing adaboost payload should error")
+	}
+	if _, err := LoadModel([]byte(`{"kind":"knn"}`)); err == nil {
+		t.Fatal("missing knn payload should error")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Fit([][]float64, []int) error { return nil }
+func (fakeModel) Predict([]float64) int        { return 0 }
+func (fakeModel) Name() string                 { return "fake" }
+
+func TestSaveModelRejectsUnknownType(t *testing.T) {
+	if _, err := SaveModel(fakeModel{}); err == nil {
+		t.Fatal("unknown model type should error")
+	}
+}
+
+func TestSaveLoadGBM(t *testing.T) {
+	x, y := synthThreeClass(200, 2, 36)
+	m := NewGBM(GBMConfig{Rounds: 15, Seed: 4})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, m, x)
+	if _, err := LoadModel([]byte(`{"kind":"gbm"}`)); err == nil {
+		t.Fatal("missing gbm payload should error")
+	}
+}

@@ -1,0 +1,91 @@
+package mlkit
+
+import (
+	"rush/internal/sim"
+)
+
+// synthBinary generates a binary classification problem reminiscent of
+// the variability task: a few informative "congestion" features whose
+// joint level determines the label, plus pure-noise features. About
+// posFrac of samples are positive (imbalanced, like real variation).
+func synthBinary(n, informative, noise int, posFrac float64, seed int64) ([][]float64, []int) {
+	rng := sim.NewSource(seed).Derive("synth")
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, informative+noise)
+		pos := rng.Bool(posFrac)
+		level := rng.Uniform(0, 0.4)
+		if pos {
+			level = rng.Uniform(0.6, 1.0)
+		}
+		for f := 0; f < informative; f++ {
+			gain := 1 + float64(f)
+			row[f] = gain*level + rng.Normal(0, 0.05)
+		}
+		for f := 0; f < noise; f++ {
+			row[informative+f] = rng.Normal(0, 1)
+		}
+		x[i] = row
+		if pos {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+// synthXOR is a two-feature problem no single split solves: label is 1
+// iff exactly one of the features is high. Tests depth-2+ learning.
+func synthXOR(n int, seed int64) ([][]float64, []int) {
+	rng := sim.NewSource(seed).Derive("xor")
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Bool(0.5), rng.Bool(0.5)
+		fa, fb := 0.1, 0.1
+		if a {
+			fa = 0.9
+		}
+		if b {
+			fb = 0.9
+		}
+		x[i] = []float64{fa + rng.Normal(0, 0.05), fb + rng.Normal(0, 0.05)}
+		if a != b {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+// synthThreeClass produces three linearly ordered classes on one latent
+// level (like no/little/variation).
+func synthThreeClass(n, noise int, seed int64) ([][]float64, []int) {
+	rng := sim.NewSource(seed).Derive("three")
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		level := rng.Uniform(0, 3)
+		row := make([]float64, 2+noise)
+		row[0] = level + rng.Normal(0, 0.1)
+		row[1] = 2*level + rng.Normal(0, 0.1)
+		for f := 0; f < noise; f++ {
+			row[2+f] = rng.Normal(0, 1)
+		}
+		x[i] = row
+		switch {
+		case level < 1:
+			y[i] = 0
+		case level < 2:
+			y[i] = 1
+		default:
+			y[i] = 2
+		}
+	}
+	return x, y
+}
+
+// holdout splits deterministic first 80% train / last 20% test.
+func holdout(x [][]float64, y []int) (xtr [][]float64, ytr []int, xte [][]float64, yte []int) {
+	cut := len(x) * 4 / 5
+	return x[:cut], y[:cut], x[cut:], y[cut:]
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/machine"
+	"rush/internal/simnet"
+)
+
+// Canary is a model-free gate in the spirit of the canary-job approach
+// the paper cites as related work: before launching a job, run the MPI
+// probe benchmarks on the tentative nodes and delay the job when they run
+// slower than a multiple of their idle-network time. It serves as the
+// heuristic baseline against which RUSH's learned gate is compared — it
+// reacts to the same live signal but cannot weigh it per application or
+// combine it with counter history.
+type Canary struct {
+	m *machine.Machine
+
+	// SlowdownThreshold delays a job when the probes run this many times
+	// slower than on an idle network (default 1.6).
+	SlowdownThreshold float64
+	// AllClasses also gates compute-intensive jobs; by default only
+	// network- and I/O-intensive jobs (the canary literature's targets)
+	// are delayed.
+	AllClasses bool
+
+	// Evaluations and Vetoes count gate activity.
+	Evaluations int
+	Vetoes      int
+	// ThresholdOverrides counts jobs forced through after exhausting
+	// their skip threshold.
+	ThresholdOverrides int
+}
+
+// NewCanary returns a canary gate over machine m.
+func NewCanary(m *machine.Machine) *Canary {
+	return &Canary{m: m, SlowdownThreshold: 1.6}
+}
+
+// Name implements Gate.
+func (g *Canary) Name() string { return "Canary" }
+
+// Allow implements Gate.
+func (g *Canary) Allow(j *Job, alloc cluster.Allocation) bool {
+	if j.Skips >= j.SkipLimit() {
+		g.ThresholdOverrides++
+		return true
+	}
+	if !g.AllClasses && j.App.Class == apps.ComputeIntensive {
+		return true
+	}
+	g.Evaluations++
+	probes := g.m.RunProbes(alloc)
+	// Mean per-node probe time versus the idle expectation.
+	var sum float64
+	for i := range probes.SendWait {
+		sum += probes.SendWait[i] + probes.RecvWait[i] + probes.AllReduceWait[i]
+	}
+	mean := sum / float64(len(probes.SendWait))
+	if mean > g.SlowdownThreshold*simnet.ProbeIdleDuration() {
+		g.Vetoes++
+		return false
+	}
+	return true
+}

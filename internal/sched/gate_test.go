@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"testing"
+
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/dataset"
+	"rush/internal/machine"
+	"rush/internal/mlkit"
+	"rush/internal/sim"
+	"rush/internal/simnet"
+)
+
+// trainedToyModel returns a forest trained so that prediction flips with
+// a congestion-driven feature: it learns "variation iff max xmit wait is
+// high". The feature vector layout matches dataset.BuildFeatures, and
+// the xmit-wait counter responds to pod overload.
+func trainedToyModel(t *testing.T, m *machine.Machine) mlkit.Classifier {
+	t.Helper()
+	alloc := cluster.Allocation{Nodes: []cluster.NodeID{0, 1, 2, 3}}
+	bg := m.NewBackground()
+	gate := NewRUSH(m, nil)
+
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		load := 0.2
+		label := dataset.LabelNone
+		if i%2 == 1 {
+			load = 1.15
+			label = dataset.LabelVariation
+		}
+		bg.Set(simnet.Contribution{PodNet: map[int]float64{0: load}})
+		m.Eng.RunUntil(m.Eng.Now() + 400)
+		x = append(x, gate.LiveFeatures(alloc, apps.NetworkIntensive))
+		y = append(y, label)
+	}
+	bg.Clear()
+	model := mlkit.NewRandomForest(mlkit.ForestConfig{Trees: 15, MaxDepth: 4, Seed: 1})
+	if err := model.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func gateMachine() *machine.Machine {
+	eng := sim.New(77)
+	return machine.New(eng, cluster.Topology{Nodes: 64, PodSize: 64, CoresPerNode: 4})
+}
+
+func TestRUSHGateVetoesUnderCongestion(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	bg := m.NewBackground()
+	alloc, _ := m.Alloc.Alloc(4)
+	j := job(0, 4, 100)
+
+	// Calm: the gate must allow.
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	if !gate.Allow(j, alloc) {
+		t.Fatal("gate vetoed on a calm machine")
+	}
+	// Congested: the gate must veto.
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	if gate.Allow(j, alloc) {
+		t.Fatal("gate allowed on a congested machine")
+	}
+	if gate.Evaluations != 2 || gate.Vetoes != 1 {
+		t.Fatalf("gate counters wrong: evals=%d vetoes=%d", gate.Evaluations, gate.Vetoes)
+	}
+}
+
+func TestRUSHGateSkipThresholdShortCircuits(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+
+	alloc, _ := m.Alloc.Alloc(4)
+	j := job(0, 4, 100)
+	j.Skips = j.SkipLimit() // exhausted: must start despite congestion
+	if !gate.Allow(j, alloc) {
+		t.Fatal("exhausted skip threshold must force the start")
+	}
+	if gate.ThresholdOverrides != 1 {
+		t.Fatalf("overrides = %d", gate.ThresholdOverrides)
+	}
+	if gate.Evaluations != 0 {
+		t.Fatal("threshold check must short-circuit the model (Algorithm 2 line 1)")
+	}
+}
+
+func TestRUSHGateProbabilityRule(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	bg := m.NewBackground()
+	alloc, _ := m.Alloc.Alloc(4)
+	j := job(0, 4, 100)
+
+	// Calm machine: the variation-probability mass is ~0, so even a
+	// strict (low) threshold allows the start.
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	strict := NewRUSH(m, model)
+	strict.ProbThreshold = 0.05
+	if !strict.Allow(j, alloc) {
+		t.Fatal("strict threshold should still allow on a calm machine")
+	}
+
+	// Congested machine: the mass approaches 1. The strict threshold
+	// vetoes; a threshold of 1.0 (exclusive) can never be exceeded and
+	// therefore always allows.
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	j2 := job(1, 4, 100)
+	if strict.Allow(j2, alloc) {
+		t.Fatal("strict threshold should veto under congestion")
+	}
+	j3 := job(2, 4, 100)
+	lax := NewRUSH(m, model)
+	lax.ProbThreshold = 1.0
+	if !lax.Allow(j3, alloc) {
+		t.Fatal("threshold 1.0 must never veto")
+	}
+}
+
+// labelOnlyModel cannot report probabilities.
+type labelOnlyModel struct{ out int }
+
+func (m labelOnlyModel) Fit([][]float64, []int) error { return nil }
+func (m labelOnlyModel) Predict([]float64) int        { return m.out }
+func (m labelOnlyModel) Name() string                 { return "labelOnly" }
+
+func TestRUSHGateProbFallsBackToLabels(t *testing.T) {
+	m := gateMachine()
+	gate := NewRUSH(m, labelOnlyModel{out: dataset.LabelVariation})
+	gate.ProbThreshold = 0.5
+	alloc, _ := m.Alloc.Alloc(4)
+	if gate.Allow(job(0, 4, 100), alloc) {
+		t.Fatal("fallback label rule should veto when the model predicts variation")
+	}
+}
+
+func TestRUSHGateAllNodesScope(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	gate.AllNodesScope = true
+	alloc, _ := m.Alloc.Alloc(4)
+	// Smoke: machine-wide scope still produces a valid decision.
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	gate.Allow(job(0, 4, 100), alloc)
+	if gate.Evaluations != 1 {
+		t.Fatal("gate did not evaluate")
+	}
+	feats := gate.LiveFeatures(alloc, apps.ComputeIntensive)
+	if len(feats) != dataset.NumFeatures {
+		t.Fatalf("feature width %d", len(feats))
+	}
+}
+
+func TestCanaryGateVetoesUnderCongestion(t *testing.T) {
+	m := gateMachine()
+	gate := NewCanary(m)
+	bg := m.NewBackground()
+	alloc, _ := m.Alloc.Alloc(4)
+	netJob := job(0, 4, 100)
+	p, _ := apps.ByName("Laghos")
+	netJob.App = p
+
+	if !gate.Allow(netJob, alloc) {
+		t.Fatal("canary vetoed on a calm machine")
+	}
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.2}})
+	if gate.Allow(netJob, alloc) {
+		t.Fatal("canary allowed on a saturated machine")
+	}
+	if gate.Evaluations != 2 || gate.Vetoes != 1 {
+		t.Fatalf("canary counters wrong: %d/%d", gate.Evaluations, gate.Vetoes)
+	}
+}
+
+func TestCanaryGateSkipsComputeJobs(t *testing.T) {
+	m := gateMachine()
+	gate := NewCanary(m)
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.2}})
+	alloc, _ := m.Alloc.Alloc(4)
+	computeJob := job(0, 4, 100)
+	p, _ := apps.ByName("Kripke")
+	computeJob.App = p
+	if !gate.Allow(computeJob, alloc) {
+		t.Fatal("canary should not gate compute-intensive jobs by default")
+	}
+	if gate.Evaluations != 0 {
+		t.Fatal("compute jobs should skip the probe entirely")
+	}
+	gate.AllClasses = true
+	if gate.Allow(computeJob, alloc) {
+		t.Fatal("AllClasses should gate compute jobs too")
+	}
+}
+
+func TestCanaryGateHonorsSkipThreshold(t *testing.T) {
+	m := gateMachine()
+	gate := NewCanary(m)
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.2}})
+	alloc, _ := m.Alloc.Alloc(4)
+	j := job(0, 4, 100)
+	p, _ := apps.ByName("Laghos")
+	j.App = p
+	j.Skips = j.SkipLimit()
+	if !gate.Allow(j, alloc) {
+		t.Fatal("exhausted threshold must force the start")
+	}
+	if gate.ThresholdOverrides != 1 {
+		t.Fatal("override not counted")
+	}
+}

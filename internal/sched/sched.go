@@ -1,0 +1,455 @@
+// Package sched implements the paper's job scheduling algorithms: a
+// baseline FCFS + EASY-backfilling scheduler (Algorithm 1) with pluggable
+// queue-ordering policies, and the RUSH modification (Algorithm 2) in
+// which the Start function consults an ML variability predictor and
+// pushes a job back — bounded by a per-job skip threshold — whenever
+// variation is predicted for the current system state.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/machine"
+)
+
+// DefaultSkipThreshold is the paper's bound on how many times one job may
+// be skipped (it was never reached in their experiments).
+const DefaultSkipThreshold = 10
+
+// Job is one queued or completed job.
+type Job struct {
+	// ID is unique within a workload; FCFS ties break on it.
+	ID int
+	// App is the application profile to run.
+	App apps.Profile
+	// Nodes is the requested node count.
+	Nodes int
+	// BaseWork is the contention-free run time in seconds.
+	BaseWork float64
+	// Estimate is the user-provided walltime estimate the backfiller
+	// plans with (>= BaseWork for honest users).
+	Estimate float64
+	// SubmitTime is when the job entered the queue.
+	SubmitTime float64
+	// SkipThreshold bounds RUSH skips for this job; 0 means
+	// DefaultSkipThreshold and a negative value means the job is never
+	// delayed (the per-job priority extension the paper suggests).
+	SkipThreshold int
+
+	// Skips counts RUSH delays applied to this job (Algorithm 2's
+	// SkipTable entry).
+	Skips int
+	// StartTime and EndTime are filled in as the job executes; NaN until
+	// then.
+	StartTime float64
+	EndTime   float64
+}
+
+// WaitTime returns time spent queued; valid once the job has started.
+func (j *Job) WaitTime() float64 { return j.StartTime - j.SubmitTime }
+
+// RunTime returns the realized run time; valid once the job has ended.
+func (j *Job) RunTime() float64 { return j.EndTime - j.StartTime }
+
+// SkipLimit returns the job's effective skip threshold. A zero limit
+// means the gate may never delay the job.
+func (j *Job) SkipLimit() int {
+	switch {
+	case j.SkipThreshold < 0:
+		return 0
+	case j.SkipThreshold > 0:
+		return j.SkipThreshold
+	default:
+		return DefaultSkipThreshold
+	}
+}
+
+// Policy orders the scheduler queue (the paper's R1 and R2).
+type Policy interface {
+	// Less reports whether a should run before b.
+	Less(a, b *Job) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// FCFS orders jobs by submission time (first come, first served).
+type FCFS struct{}
+
+// Less implements Policy.
+func (FCFS) Less(a, b *Job) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// SJF orders jobs by user estimate (shortest job first).
+type SJF struct{}
+
+// Less implements Policy.
+func (SJF) Less(a, b *Job) bool {
+	if a.Estimate != b.Estimate {
+		return a.Estimate < b.Estimate
+	}
+	return a.ID < b.ID
+}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// Gate is the decision point of Algorithm 2's modified Start function:
+// given a job and its tentative allocation, Allow reports whether the job
+// should launch now. Returning false pushes the job back (the scheduler
+// frees the allocation, increments the skip count, and the job keeps its
+// queue position). Gates must honor the job's skip threshold themselves
+// via job.Skips — see RUSH's implementation in gate.go.
+type Gate interface {
+	// Allow reports whether j may start on alloc under the current
+	// system state.
+	Allow(j *Job, alloc cluster.Allocation) bool
+	// Name identifies the gate in reports.
+	Name() string
+}
+
+// AlwaysStart is the baseline gate: every job launches immediately.
+type AlwaysStart struct{}
+
+// Allow implements Gate.
+func (AlwaysStart) Allow(*Job, cluster.Allocation) bool { return true }
+
+// Name implements Gate.
+func (AlwaysStart) Name() string { return "FCFS+EASY" }
+
+// BackfillMode selects the backfilling discipline.
+type BackfillMode int
+
+const (
+	// EASYBackfill gives only the queue head a reservation; later jobs
+	// backfill if they cannot delay it (the paper's baseline).
+	EASYBackfill BackfillMode = iota
+	// NoBackfill runs strict in-order scheduling: the first job that
+	// does not fit blocks everything behind it.
+	NoBackfill
+	// ConservativeBackfill gives every queued job a tentative
+	// reservation; a job may start early only if it delays none of them.
+	ConservativeBackfill
+)
+
+// String returns the mode name for reports.
+func (m BackfillMode) String() string {
+	switch m {
+	case EASYBackfill:
+		return "EASY"
+	case NoBackfill:
+		return "none"
+	case ConservativeBackfill:
+		return "conservative"
+	default:
+		return fmt.Sprintf("BackfillMode(%d)", int(m))
+	}
+}
+
+// Scheduler runs Algorithm 1 over a simulated machine: the main queue is
+// ordered by R1; when the head cannot start, it receives an EASY
+// reservation and R2-ordered candidates are backfilled around it without
+// delaying that reservation. Alternative backfill disciplines are
+// selected with the Backfill field.
+type Scheduler struct {
+	m  *machine.Machine
+	r1 Policy
+	r2 Policy
+	gt Gate
+
+	// Backfill selects the backfilling discipline (default EASY).
+	Backfill BackfillMode
+
+	queue     []*Job
+	running   []*Job
+	completed []*Job
+
+	// OnComplete, when set, observes each finished job.
+	OnComplete func(*Job)
+	// RetryInterval bounds how long vetoed jobs can idle the machine: if
+	// a pass ends with vetoes while nodes are free, another pass runs
+	// after this many seconds (the system state may have changed, e.g. a
+	// noise phase ended). Zero disables the retry timer.
+	RetryInterval float64
+	// VetoCooldown is how long a gate-vetoed job rests before it is
+	// re-evaluated (and can be re-charged a skip). Without a cooldown a
+	// busy machine re-asks the model on every job completion — every few
+	// seconds — and a delayed job would burn through its whole skip
+	// threshold inside a single congestion phase. The paper's threshold
+	// of 10 "was never met"; a cooldown equal to the retry interval
+	// reproduces that behaviour. Zero disables the cooldown.
+	VetoCooldown float64
+
+	vetoed     map[*Job]bool
+	lastVeto   map[*Job]float64
+	inPass     bool
+	passWant   bool
+	retryArmed bool
+}
+
+// New returns a scheduler over m using R1 for the main queue, R2 for
+// backfilling, and gate to make the start decision.
+func New(m *machine.Machine, r1, r2 Policy, gate Gate) *Scheduler {
+	return &Scheduler{
+		m: m, r1: r1, r2: r2, gt: gate,
+		RetryInterval: 30,
+		VetoCooldown:  30,
+		vetoed:        map[*Job]bool{},
+		lastVeto:      map[*Job]float64{},
+	}
+}
+
+// Machine returns the underlying machine.
+func (s *Scheduler) Machine() *machine.Machine { return s.m }
+
+// QueueLen returns the number of queued jobs.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// RunningLen returns the number of executing jobs.
+func (s *Scheduler) RunningLen() int { return len(s.running) }
+
+// Completed returns the finished jobs in completion order.
+func (s *Scheduler) Completed() []*Job { return s.completed }
+
+// GateName returns the active gate's name (for reports).
+func (s *Scheduler) GateName() string { return s.gt.Name() }
+
+// Submit enqueues j (stamping its submit time) and runs a scheduling
+// pass.
+func (s *Scheduler) Submit(j *Job) {
+	if j.Nodes <= 0 || j.Nodes > s.m.Topo.Nodes {
+		panic(fmt.Sprintf("sched: job %d requests %d nodes on a %d-node machine", j.ID, j.Nodes, s.m.Topo.Nodes))
+	}
+	if j.Estimate <= 0 {
+		j.Estimate = j.BaseWork
+	}
+	j.SubmitTime = s.m.Eng.Now()
+	j.StartTime = math.NaN()
+	j.EndTime = math.NaN()
+	s.queue = append(s.queue, j)
+	s.Pass()
+}
+
+// Pass runs one scheduling cycle. Each queued job is considered at most
+// once per pass; a gate veto leaves the job queued with its priority
+// intact (the paper: the delayed job "remains at the top of the queue
+// and will be the first to be considered ... next time resources become
+// available").
+func (s *Scheduler) Pass() {
+	if s.inPass {
+		s.passWant = true
+		return
+	}
+	s.inPass = true
+	defer func() {
+		s.inPass = false
+		if s.passWant {
+			s.passWant = false
+			s.Pass()
+		}
+	}()
+
+	s.vetoed = map[*Job]bool{}
+restart:
+	for {
+		sort.SliceStable(s.queue, func(i, j int) bool { return s.r1.Less(s.queue[i], s.queue[j]) })
+		var pivot *Job
+		for _, j := range s.queue {
+			if s.vetoed[j] || s.coolingDown(j) {
+				continue
+			}
+			if s.m.Alloc.CanAlloc(j.Nodes) {
+				if s.tryStart(j) {
+					continue restart
+				}
+				continue // vetoed: consider the next job, j keeps its place
+			}
+			pivot = j
+			break
+		}
+		if pivot == nil {
+			break
+		}
+		switch s.Backfill {
+		case NoBackfill:
+			// Strict in-order scheduling: the blocked head blocks all.
+		case ConservativeBackfill:
+			if s.conservativeBackfill() {
+				continue restart
+			}
+		default: // EASY backfilling around the pivot's reservation.
+			shadow, extra := s.reservation(pivot)
+			cands := make([]*Job, 0, len(s.queue))
+			for _, j := range s.queue {
+				if j != pivot && !s.vetoed[j] && !s.coolingDown(j) {
+					cands = append(cands, j)
+				}
+			}
+			sort.SliceStable(cands, func(i, j int) bool { return s.r2.Less(cands[i], cands[j]) })
+			now := s.m.Eng.Now()
+			for _, c := range cands {
+				if !s.m.Alloc.CanAlloc(c.Nodes) {
+					continue
+				}
+				if now+c.Estimate <= shadow || c.Nodes <= extra {
+					if s.tryStart(c) {
+						continue restart
+					}
+				}
+			}
+		}
+		break
+	}
+
+	blockedIdle := len(s.queue) > 0 && len(s.running) == 0
+	if (len(s.vetoed) > 0 || len(s.lastVeto) > 0 || blockedIdle) && s.RetryInterval > 0 && !s.retryArmed {
+		// Without this timer, a fully vetoed queue on an idle machine
+		// would deadlock: no submit/finish event would ever re-run the
+		// pass even though the state keeps changing (noise phases,
+		// external allocations like the noise job releasing nodes).
+		s.retryArmed = true
+		s.m.Eng.Schedule(s.RetryInterval, func() {
+			s.retryArmed = false
+			s.Pass()
+		})
+	}
+}
+
+// conservativeBackfill places every queued job on a node-availability
+// profile in R1 order, giving each a tentative reservation, and starts
+// any job whose reservation begins now. No job's start can be delayed by
+// a later job because later jobs only take capacity the earlier
+// reservations left behind. Returns true when a job started (the caller
+// restarts its pass).
+func (s *Scheduler) conservativeBackfill() bool {
+	now := s.m.Eng.Now()
+	rels := make([]release, 0, len(s.running))
+	for _, j := range s.running {
+		end := j.StartTime + j.Estimate
+		if end < now {
+			end = now // overrun its estimate; may finish any moment
+		}
+		rels = append(rels, release{t: end, n: j.Nodes})
+	}
+	p := newProfile(now, s.m.Alloc.FreeCount(), rels)
+	// s.queue is already sorted by R1 (the pass sorts before calling us).
+	for _, j := range s.queue {
+		t := p.findSlot(j.Nodes, j.Estimate, now)
+		if t == now && !s.vetoed[j] && !s.coolingDown(j) && s.m.Alloc.CanAlloc(j.Nodes) {
+			if s.tryStart(j) {
+				return true
+			}
+			// Vetoed just now: keep its reservation below so no later
+			// job can capture its slot.
+		}
+		p.reserve(t, j.Estimate, j.Nodes)
+	}
+	return false
+}
+
+// coolingDown reports whether j was gate-vetoed too recently to be
+// reconsidered.
+func (s *Scheduler) coolingDown(j *Job) bool {
+	if s.VetoCooldown <= 0 {
+		return false
+	}
+	t, ok := s.lastVeto[j]
+	return ok && s.m.Eng.Now()-t < s.VetoCooldown
+}
+
+// reservation computes the pivot's EASY reservation using the standard
+// count-based method: walk running jobs by estimated completion until
+// enough nodes accumulate. It returns the shadow time and the number of
+// spare nodes at that time (backfill jobs at most that size cannot delay
+// the reservation regardless of their duration).
+func (s *Scheduler) reservation(pivot *Job) (shadow float64, extra int) {
+	type release struct {
+		t float64
+		n int
+	}
+	rels := make([]release, 0, len(s.running))
+	now := s.m.Eng.Now()
+	for _, j := range s.running {
+		end := j.StartTime + j.Estimate
+		if end < now {
+			end = now // overrun its estimate; it can finish any moment
+		}
+		rels = append(rels, release{t: end, n: j.Nodes})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
+	avail := s.m.Alloc.FreeCount()
+	shadow = now
+	for _, r := range rels {
+		if avail >= pivot.Nodes {
+			break
+		}
+		avail += r.n
+		shadow = r.t
+	}
+	if avail < pivot.Nodes {
+		// The pivot can never fit (e.g. the noise job permanently holds
+		// nodes it would need): reserve at infinity so any fitting job
+		// backfills freely.
+		return math.Inf(1), s.m.Alloc.FreeCount()
+	}
+	return shadow, avail - pivot.Nodes
+}
+
+// tryStart allocates, consults the gate, and either launches the job or
+// applies the Algorithm 2 push-back.
+func (s *Scheduler) tryStart(j *Job) bool {
+	alloc, err := s.m.Alloc.Alloc(j.Nodes)
+	if err != nil {
+		panic(fmt.Sprintf("sched: allocation failed after CanAlloc: %v", err))
+	}
+	if !s.gt.Allow(j, alloc) {
+		s.m.Alloc.Free(alloc)
+		j.Skips++
+		s.vetoed[j] = true
+		s.lastVeto[j] = s.m.Eng.Now()
+		return false
+	}
+	j.StartTime = s.m.Eng.Now()
+	delete(s.lastVeto, j)
+	s.removeQueued(j)
+	s.running = append(s.running, j)
+	s.m.StartJob(j.App, alloc, j.BaseWork, func(rj *machine.RunningJob) {
+		s.finish(j)
+	})
+	return true
+}
+
+func (s *Scheduler) removeQueued(j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sched: job %d started but not in queue", j.ID))
+}
+
+func (s *Scheduler) finish(j *Job) {
+	j.EndTime = s.m.Eng.Now()
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.completed = append(s.completed, j)
+	if s.OnComplete != nil {
+		s.OnComplete(j)
+	}
+	s.Pass()
+}

@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// events. Events fire in strictly non-decreasing time order; ties are
+// broken by scheduling order so that a run is reproducible given the same
+// seed and the same sequence of Schedule calls. All stochastic components
+// of the simulator draw from random sources derived from the engine seed
+// (see rand.go), which makes whole-cluster experiments repeatable
+// bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. An Event is created by Engine.Schedule or
+// Engine.At and may be cancelled with Engine.Cancel before it fires.
+type Event struct {
+	// Time is the virtual time (in seconds) at which the event fires.
+	Time float64
+	// Fn is the callback invoked when the event fires.
+	Fn func()
+
+	seq       uint64 // tie-breaker: events at equal time fire in schedule order
+	index     int    // position in the heap, -1 when not queued
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *Source
+	fired  uint64
+}
+
+// New returns an engine with its clock at zero whose random streams derive
+// from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: NewSource(seed)}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events processed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Source returns the engine's root random source.
+func (e *Engine) Source() *Source { return e.rng }
+
+// Schedule registers fn to run delay seconds from now. A negative or NaN
+// delay panics: silently clamping would hide causality bugs in the caller.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("sim: invalid schedule delay %v at t=%v", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At registers fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("sim: schedule into the past: t=%v now=%v", t, e.now))
+	}
+	ev := &Event{Time: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel prevents ev from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+		ev.index = -1
+	}
+}
+
+// Step fires the next pending event and returns true, or returns false if
+// no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.Time
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with Time <= t and then advances the clock to t.
+// Events scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 {
+		next := e.peek()
+		if next == nil || next.Time > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if e.events[0].cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

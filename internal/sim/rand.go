@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source with support for deriving
+// independent child streams. Components of the simulator (network noise,
+// per-node telemetry noise, workload generation, ...) each derive their own
+// stream so that adding a random draw in one component does not perturb the
+// sequence seen by another.
+type Source struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// Seed returns the seed the source was rooted at. Components that need
+// many cheap deterministic draws (per node × tick telemetry noise) hash
+// this seed directly instead of deriving a child stream per draw.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Hash64 mixes the source's seed with the given words into a uniform
+// 64-bit value. It is pure: the same inputs always produce the same
+// output, independent of any draws made from the source.
+func (s *Source) Hash64(words ...uint64) uint64 {
+	h := uint64(s.seed)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return splitmix64(h)
+}
+
+// HashUnit maps Hash64 to a uniform float in [0, 1).
+func (s *Source) HashUnit(words ...uint64) float64 {
+	return float64(s.Hash64(words...)>>11) / float64(1<<53)
+}
+
+// NewSource returns a source rooted at seed.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, rng: rand.New(rand.NewSource(int64(splitmix64(uint64(seed)))))}
+}
+
+// Derive returns an independent child stream identified by name. Deriving
+// the same name from the same source always yields an identical stream.
+func (s *Source) Derive(name string) *Source {
+	h := uint64(s.seed)
+	for _, c := range []byte(name) {
+		h = splitmix64(h ^ uint64(c))
+	}
+	return NewSource(int64(h))
+}
+
+// DeriveN returns an independent child stream identified by name and an
+// integer (e.g. a node or job index).
+func (s *Source) DeriveN(name string, n int) *Source {
+	h := uint64(s.seed)
+	for _, c := range []byte(name) {
+		h = splitmix64(h ^ uint64(c))
+	}
+	h = splitmix64(h ^ uint64(n)*0x9e3779b97f4a7c15)
+	return NewSource(int64(h))
+}
+
+// splitmix64 is the SplitMix64 mixing function; it turns correlated seeds
+// into well-distributed ones.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform draw in [0, n).
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Normal returns a draw from N(mu, sigma^2).
+func (s *Source) Normal(mu, sigma float64) float64 {
+	return mu + sigma*s.rng.NormFloat64()
+}
+
+// LogNormal returns a draw whose logarithm is N(mu, sigma^2).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Exponential returns a draw from an exponential distribution with the
+// given mean.
+func (s *Source) Exponential(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+
+// Rand exposes the underlying *rand.Rand for callers that need the full
+// math/rand API (e.g. rand.Shuffle adapters).
+func (s *Source) Rand() *rand.Rand { return s.rng }

@@ -1,0 +1,261 @@
+// Package simnet models the shared resources whose contention causes
+// performance variability: the per-pod fat-tree network and the global
+// parallel filesystem (Lustre on the paper's Quartz cluster).
+//
+// Load is tracked in normalized units where 1.0 is the nominal capacity of
+// the resource. Running jobs, the all-to-all noise job, and ambient
+// background traffic each register additive load contributions. The state
+// keeps a complete history of load epochs so that telemetry can be
+// aggregated over any past window without sampling every node at every
+// tick, and notifies subscribers whenever the load changes so running jobs
+// can re-integrate their remaining work.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"rush/internal/cluster"
+)
+
+// Contribution is one source's additive load. Network load is per pod;
+// core-link and filesystem load are global.
+type Contribution struct {
+	// PodNet maps pod index -> network load injected into that pod.
+	PodNet map[int]float64
+	// Core is load on the fat tree's upper (inter-pod) links; only
+	// traffic between pods contributes here.
+	Core float64
+	// FS is load on the global filesystem.
+	FS float64
+}
+
+// State tracks the current load on every shared resource.
+type State struct {
+	topo    cluster.Topology
+	podNet  []float64
+	core    float64
+	fs      float64
+	now     func() float64
+	hist    *History
+	subs    []func()
+	version uint64
+}
+
+// NewState returns a state for topo whose history is stamped with times
+// from now (typically sim.Engine.Now).
+func NewState(topo cluster.Topology, now func() float64) *State {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	s := &State{
+		topo:   topo,
+		podNet: make([]float64, topo.Pods()),
+		now:    now,
+		hist:   &History{pods: topo.Pods()},
+	}
+	s.hist.append(now(), s.podNet, s.core, s.fs)
+	return s
+}
+
+// Topology returns the state's topology.
+func (s *State) Topology() cluster.Topology { return s.topo }
+
+// Version increments on every load change; callers can cheaply detect
+// staleness.
+func (s *State) Version() uint64 { return s.version }
+
+// Subscribe registers fn to run after every load change.
+func (s *State) Subscribe(fn func()) { s.subs = append(s.subs, fn) }
+
+// Apply adds a contribution to the current load.
+func (s *State) Apply(c Contribution) {
+	s.mutate(c, +1)
+}
+
+// Remove subtracts a previously applied contribution. Small negative
+// residues from float round-off are clamped to zero.
+func (s *State) Remove(c Contribution) {
+	s.mutate(c, -1)
+}
+
+func (s *State) mutate(c Contribution, sign float64) {
+	for pod, l := range c.PodNet {
+		if pod < 0 || pod >= len(s.podNet) {
+			panic(fmt.Sprintf("simnet: pod %d out of range (%d pods)", pod, len(s.podNet)))
+		}
+		s.podNet[pod] += sign * l
+		if s.podNet[pod] < 0 {
+			if s.podNet[pod] < -1e-9 {
+				panic(fmt.Sprintf("simnet: pod %d load went negative: %v", pod, s.podNet[pod]))
+			}
+			s.podNet[pod] = 0
+		}
+	}
+	s.core += sign * c.Core
+	if s.core < 0 {
+		if s.core < -1e-9 {
+			panic(fmt.Sprintf("simnet: core load went negative: %v", s.core))
+		}
+		s.core = 0
+	}
+	s.fs += sign * c.FS
+	if s.fs < 0 {
+		if s.fs < -1e-9 {
+			panic(fmt.Sprintf("simnet: fs load went negative: %v", s.fs))
+		}
+		s.fs = 0
+	}
+	s.version++
+	s.hist.append(s.now(), s.podNet, s.core, s.fs)
+	for _, fn := range s.subs {
+		fn()
+	}
+}
+
+// NetLoad returns the current network load in pod.
+func (s *State) NetLoad(pod int) float64 { return s.podNet[pod] }
+
+// CoreLoad returns the current inter-pod (core link) load.
+func (s *State) CoreLoad() float64 { return s.core }
+
+// FSLoad returns the current filesystem load.
+func (s *State) FSLoad() float64 { return s.fs }
+
+// congestionThreshold is the normalized load beyond which contention
+// begins to hurt: links and OSTs have headroom below it.
+const congestionThreshold = 0.65
+
+// Overload maps a load level to a contention factor in [0, +inf): zero at
+// or below the congestion threshold, 1.0 at nominal capacity, growing
+// quadratically beyond. The convexity makes badly congested periods
+// clearly worse than mildly busy ones, which is what gives the paper's
+// run-time distributions their long right tails.
+func Overload(load float64) float64 {
+	if load <= congestionThreshold {
+		return 0
+	}
+	x := (load - congestionThreshold) / (1 - congestionThreshold)
+	return x * x
+}
+
+// NetOverload returns the contention factor of pod's network.
+func (s *State) NetOverload(pod int) float64 { return Overload(s.podNet[pod]) }
+
+// CoreOverload returns the contention factor of the inter-pod links.
+func (s *State) CoreOverload() float64 { return Overload(s.core) }
+
+// FSOverload returns the contention factor of the filesystem.
+func (s *State) FSOverload() float64 { return Overload(s.fs) }
+
+// AllocNetOverload returns the mean network contention factor across the
+// pods an allocation touches, weighted by the number of the allocation's
+// nodes in each pod.
+func (s *State) AllocNetOverload(alloc cluster.Allocation) float64 {
+	if len(alloc.Nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range alloc.Nodes {
+		sum += s.NetOverload(s.topo.PodOf(n))
+	}
+	return sum / float64(len(alloc.Nodes))
+}
+
+// History returns the recorded load history.
+func (s *State) History() *History { return s.hist }
+
+// Epoch is a half-open interval of constant load beginning at T.
+type Epoch struct {
+	T      float64
+	PodNet []float64
+	Core   float64
+	FS     float64
+}
+
+// History is the append-only record of load epochs. Epoch i covers
+// [epochs[i].T, epochs[i+1].T); the final epoch extends to the present.
+type History struct {
+	pods   int
+	epochs []Epoch
+}
+
+func (h *History) append(t float64, podNet []float64, core, fs float64) {
+	cp := make([]float64, len(podNet))
+	copy(cp, podNet)
+	if n := len(h.epochs); n > 0 {
+		if h.epochs[n-1].T == t {
+			// Several mutations at the same instant collapse into one epoch.
+			h.epochs[n-1].PodNet = cp
+			h.epochs[n-1].Core = core
+			h.epochs[n-1].FS = fs
+			return
+		}
+		if h.epochs[n-1].T > t {
+			panic(fmt.Sprintf("simnet: history time went backwards: %v after %v", t, h.epochs[n-1].T))
+		}
+	}
+	h.epochs = append(h.epochs, Epoch{T: t, PodNet: cp, Core: core, FS: fs})
+}
+
+// Len returns the number of recorded epochs.
+func (h *History) Len() int { return len(h.epochs) }
+
+// Slice is one piece of a window query: constant load over [T0, T1).
+type Slice struct {
+	T0, T1 float64
+	PodNet []float64
+	Core   float64
+	FS     float64
+}
+
+// Window returns the sequence of constant-load slices covering [t0, t1).
+// Requests before the first recorded epoch are clamped to it.
+func (h *History) Window(t0, t1 float64) []Slice {
+	if t1 <= t0 || len(h.epochs) == 0 {
+		return nil
+	}
+	// First epoch whose start is > t0, minus one, is the epoch containing t0.
+	i := sort.Search(len(h.epochs), func(i int) bool { return h.epochs[i].T > t0 })
+	if i > 0 {
+		i--
+	}
+	var out []Slice
+	for ; i < len(h.epochs); i++ {
+		e := h.epochs[i]
+		start := e.T
+		if i == 0 || start < t0 {
+			// The first epoch also describes all time before it was
+			// recorded: the state existed (idle) before any mutation.
+			start = t0
+		}
+		end := t1
+		if i+1 < len(h.epochs) && h.epochs[i+1].T < t1 {
+			end = h.epochs[i+1].T
+		}
+		if end <= start {
+			if e.T >= t1 {
+				break
+			}
+			continue
+		}
+		out = append(out, Slice{T0: start, T1: end, PodNet: e.PodNet, Core: e.Core, FS: e.FS})
+		if end == t1 {
+			break
+		}
+	}
+	return out
+}
+
+// Prune drops history strictly older than t, keeping the epoch containing
+// t so that Window queries starting at t still resolve. Long-running
+// collection campaigns call this to bound memory.
+func (h *History) Prune(t float64) {
+	i := sort.Search(len(h.epochs), func(i int) bool { return h.epochs[i].T > t })
+	if i > 0 {
+		i--
+	}
+	if i > 0 {
+		h.epochs = append([]Epoch(nil), h.epochs[i:]...)
+	}
+}

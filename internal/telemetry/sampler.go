@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"rush/internal/cluster"
+	"rush/internal/sim"
+	"rush/internal/simnet"
+)
+
+// SamplePeriod is the LDMS sampling cadence in seconds. Ticks are aligned
+// to multiples of the period globally, so the same instant always yields
+// the same sample regardless of which window asks for it.
+const SamplePeriod = 15.0
+
+// WindowSeconds is the aggregation window used throughout the paper: the
+// five minutes of counter data preceding a job's start.
+const WindowSeconds = 300.0
+
+// maxScopeNodes caps how many nodes an aggregation walks. The paper's
+// "all nodes" scope covers the whole machine; statistically a fixed-size
+// deterministic stratified subset preserves the min/mean/max aggregates
+// while keeping the simulated collection pipeline tractable. Job-scoped
+// aggregations are far below the cap and are never subsampled.
+const maxScopeNodes = 64
+
+// Sampler synthesizes counter samples from the simulator's load history.
+type Sampler struct {
+	topo   cluster.Topology
+	schema []Counter
+	rng    *sim.Source
+}
+
+// NewSampler returns a sampler over topo whose noise derives from rng
+// (use a dedicated child stream, e.g. root.Derive("telemetry")).
+func NewSampler(topo cluster.Topology, rng *sim.Source) *Sampler {
+	return &Sampler{topo: topo, schema: Schema(), rng: rng}
+}
+
+// Schema returns the sampler's counter schema.
+func (s *Sampler) Schema() []Counter { return s.schema }
+
+// Aggregates holds min/mean/max per counter, aggregated over every
+// (node, sample tick) pair in a window, in schema order.
+type Aggregates struct {
+	Min  []float64
+	Mean []float64
+	Max  []float64
+}
+
+// sampleValue computes one counter's value on one node at one tick given
+// the latent loads. Noise is a deterministic hash of (counter, node,
+// tick), so overlapping windows agree on shared samples.
+func (s *Sampler) sampleValue(c *Counter, ci int, node cluster.NodeID, tick int64, netLoad, fsLoad float64) float64 {
+	var signal float64
+	switch c.Src {
+	case SrcNet:
+		signal = netLoad
+	case SrcNetOverload:
+		signal = simnet.Overload(netLoad)
+	case SrcFS:
+		signal = fsLoad
+	case SrcFSOverload:
+		signal = simnet.Overload(fsLoad)
+	case SrcNoise:
+		signal = 0
+	default:
+		panic(fmt.Sprintf("telemetry: unknown source %d", c.Src))
+	}
+	// Uniform multiplicative noise with the configured sigma. Uniform on
+	// [-sqrt(3)sigma, +sqrt(3)sigma] matches the variance of a normal at
+	// a fraction of the cost, and counters aren't Gaussian anyway.
+	u := 2*s.rng.HashUnit(uint64(ci)+1, uint64(node)+0x9e37, uint64(tick)+0x7f4a) - 1
+	v := (c.Base + c.Gain*signal) * (1 + c.Noise*u*math.Sqrt(3))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// AggregateWindow computes min/mean/max of every counter over the window
+// [t1-WindowSeconds, t1) across the given nodes, reading latent loads
+// from hist. An empty node list or a window with no aligned ticks falls
+// back to a single sample at the window end so callers always get a
+// complete feature vector.
+func (s *Sampler) AggregateWindow(hist *simnet.History, nodes []cluster.NodeID, t1 float64) Aggregates {
+	return s.AggregateRange(hist, nodes, t1-WindowSeconds, t1)
+}
+
+// AggregateRange is AggregateWindow over an explicit [t0, t1) interval.
+func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t0, t1 float64) Aggregates {
+	n := len(s.schema)
+	agg := Aggregates{
+		Min:  make([]float64, n),
+		Mean: make([]float64, n),
+		Max:  make([]float64, n),
+	}
+	for i := range agg.Min {
+		agg.Min[i] = math.Inf(1)
+		agg.Max[i] = math.Inf(-1)
+	}
+	nodes = capNodes(nodes)
+	if len(nodes) == 0 {
+		return agg
+	}
+
+	ticks := alignedTicks(t0, t1)
+	slices := hist.Window(t0, t1)
+	count := 0
+	for _, tick := range ticks {
+		t := float64(tick) * SamplePeriod
+		if t < t0 {
+			t = t0 // fallback tick for sub-period windows
+		}
+		netByPod, fs := loadsAt(slices, t)
+		for _, node := range nodes {
+			pod := s.topo.PodOf(node)
+			var net float64
+			if pod < len(netByPod) {
+				net = netByPod[pod]
+			}
+			for ci := range s.schema {
+				v := s.sampleValue(&s.schema[ci], ci, node, tick, net, fs)
+				if v < agg.Min[ci] {
+					agg.Min[ci] = v
+				}
+				if v > agg.Max[ci] {
+					agg.Max[ci] = v
+				}
+				agg.Mean[ci] += v
+			}
+			count++
+		}
+	}
+	for i := range agg.Mean {
+		agg.Mean[i] /= float64(count)
+	}
+	return agg
+}
+
+// alignedTicks returns the global tick indices whose sample times fall in
+// [t0, t1). A window shorter than one period still yields one tick (the
+// one containing t0) so feature vectors are never empty.
+func alignedTicks(t0, t1 float64) []int64 {
+	first := int64(math.Ceil(t0 / SamplePeriod))
+	last := int64(math.Ceil(t1/SamplePeriod)) - 1
+	if last < first {
+		return []int64{int64(math.Floor(t0 / SamplePeriod))}
+	}
+	ticks := make([]int64, 0, last-first+1)
+	for k := first; k <= last; k++ {
+		ticks = append(ticks, k)
+	}
+	return ticks
+}
+
+// loadsAt finds the latent loads at time t within pre-fetched slices.
+// Times outside the covered range clamp to the nearest slice.
+func loadsAt(slices []simnet.Slice, t float64) ([]float64, float64) {
+	if len(slices) == 0 {
+		return nil, 0
+	}
+	for i := range slices {
+		if t >= slices[i].T0 && t < slices[i].T1 {
+			return slices[i].PodNet, slices[i].FS
+		}
+	}
+	if t < slices[0].T0 {
+		return slices[0].PodNet, slices[0].FS
+	}
+	last := slices[len(slices)-1]
+	return last.PodNet, last.FS
+}
+
+// capNodes deterministically subsamples large scopes (every k-th node) so
+// machine-wide aggregation stays cheap; see maxScopeNodes.
+func capNodes(nodes []cluster.NodeID) []cluster.NodeID {
+	if len(nodes) <= maxScopeNodes {
+		return nodes
+	}
+	stride := float64(len(nodes)) / float64(maxScopeNodes)
+	out := make([]cluster.NodeID, 0, maxScopeNodes)
+	for i := 0; i < maxScopeNodes; i++ {
+		out = append(out, nodes[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// AllNodes returns the node IDs of the whole machine, for machine-wide
+// aggregation scopes.
+func AllNodes(topo cluster.Topology) []cluster.NodeID {
+	out := make([]cluster.NodeID, topo.Nodes)
+	for i := range out {
+		out[i] = cluster.NodeID(i)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rush/internal/apps"
+	"rush/internal/sched"
+	"rush/internal/sim"
+)
+
+// Standard Workload Format (SWF) support. SWF is the de-facto archive
+// format for HPC job logs (the Parallel Workloads Archive); supporting it
+// lets RUSH replay real cluster traces instead of the synthetic Table II
+// streams, and lets simulation results feed standard analysis tools.
+//
+// Each SWF record is 18 whitespace-separated fields; missing values are
+// -1. Comment lines start with ';'.
+
+// SWFJob is one record of an SWF trace.
+type SWFJob struct {
+	ID           int
+	Submit       float64 // seconds since trace start
+	Wait         float64
+	RunTime      float64
+	Procs        int // allocated processors
+	AvgCPU       float64
+	UsedMem      float64
+	ReqProcs     int
+	ReqTime      float64
+	ReqMem       float64
+	Status       int
+	UserID       int
+	GroupID      int
+	ExecutableID int
+	QueueID      int
+	PartitionID  int
+	PrecedingJob int
+	ThinkTime    float64
+}
+
+// ParseSWF reads an SWF trace. Header comments are skipped; records with
+// missing run time or processor counts are dropped (they cannot be
+// replayed).
+func ParseSWF(r io.Reader) ([]SWFJob, error) {
+	var jobs []SWFJob
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, ";") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 18 {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want 18", line, len(fields))
+		}
+		fv := make([]float64, 18)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: swf line %d field %d: %w", line, i+1, err)
+			}
+			fv[i] = v
+		}
+		j := SWFJob{
+			ID: int(fv[0]), Submit: fv[1], Wait: fv[2], RunTime: fv[3],
+			Procs: int(fv[4]), AvgCPU: fv[5], UsedMem: fv[6],
+			ReqProcs: int(fv[7]), ReqTime: fv[8], ReqMem: fv[9],
+			Status: int(fv[10]), UserID: int(fv[11]), GroupID: int(fv[12]),
+			ExecutableID: int(fv[13]), QueueID: int(fv[14]), PartitionID: int(fv[15]),
+			PrecedingJob: int(fv[16]), ThinkTime: fv[17],
+		}
+		if j.RunTime <= 0 {
+			continue // cancelled or corrupt record
+		}
+		if j.Procs <= 0 {
+			if j.ReqProcs <= 0 {
+				continue
+			}
+			j.Procs = j.ReqProcs
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: swf scan: %w", err)
+	}
+	return jobs, nil
+}
+
+// SWFOptions controls how an SWF trace maps onto the simulator.
+type SWFOptions struct {
+	// CoresPerNode converts processor counts to node counts (default 36,
+	// Quartz's).
+	CoresPerNode int
+	// MaxNodes drops jobs larger than the simulated machine (default 512).
+	MaxNodes int
+	// MaxJobs truncates the trace (0 = no limit).
+	MaxJobs int
+	// Seed drives application assignment for jobs with unknown
+	// executables.
+	Seed int64
+}
+
+func (o *SWFOptions) fill() {
+	if o.CoresPerNode <= 0 {
+		o.CoresPerNode = 36
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 512
+	}
+}
+
+// FromSWF converts an SWF trace into a submittable job stream. Run times
+// become contention-free base work; requested times become the
+// backfiller's estimates (falling back to 1.5x the run time when absent);
+// each job is assigned a proxy-application profile keyed on its SWF
+// executable ID so re-runs of the same executable share a profile.
+func FromSWF(trace []SWFJob, opts SWFOptions) ([]SubmittedJob, error) {
+	opts.fill()
+	profiles := apps.Defaults()
+	rng := sim.NewSource(opts.Seed).Derive("swf")
+	var out []SubmittedJob
+	var t0 float64
+	for i, sj := range trace {
+		if opts.MaxJobs > 0 && len(out) >= opts.MaxJobs {
+			break
+		}
+		if i == 0 {
+			t0 = sj.Submit
+		}
+		nodes := (sj.Procs + opts.CoresPerNode - 1) / opts.CoresPerNode
+		if nodes < 1 {
+			nodes = 1
+		}
+		if nodes > opts.MaxNodes {
+			continue
+		}
+		// Stable application assignment: same executable -> same profile.
+		var profile apps.Profile
+		if sj.ExecutableID > 0 {
+			profile = profiles[sj.ExecutableID%len(profiles)]
+		} else {
+			profile = profiles[rng.Intn(len(profiles))]
+		}
+		estimate := sj.ReqTime
+		if estimate <= 0 || estimate < sj.RunTime {
+			estimate = sj.RunTime * 1.5
+		}
+		out = append(out, SubmittedJob{
+			Job: &sched.Job{
+				ID:       len(out),
+				App:      profile,
+				Nodes:    nodes,
+				BaseWork: sj.RunTime,
+				Estimate: estimate,
+			},
+			SubmitAt: sj.Submit - t0,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: swf trace contains no replayable jobs")
+	}
+	return out, nil
+}
+
+// WriteSWF writes completed jobs as an SWF trace (one record per job,
+// unknown fields as -1) so results can feed standard workload-analysis
+// tools. Jobs are identified by their scheduler IDs; the executable ID
+// indexes the default application list.
+func WriteSWF(w io.Writer, jobs []*sched.Job, header string) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		for _, line := range strings.Split(strings.TrimRight(header, "\n"), "\n") {
+			if _, err := fmt.Fprintf(bw, "; %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	appIndex := map[string]int{}
+	for i, name := range apps.Names() {
+		appIndex[name] = i + 1
+	}
+	for _, j := range jobs {
+		exe := appIndex[j.App.Name]
+		_, err := fmt.Fprintf(bw, "%d %.0f %.0f %.2f %d -1 -1 %d %.0f -1 1 -1 -1 %d -1 -1 -1 -1\n",
+			j.ID+1, j.SubmitTime, j.WaitTime(), j.RunTime(),
+			j.Nodes, j.Nodes, j.Estimate, exe)
+		if err != nil {
+			return fmt.Errorf("workload: write swf: %w", err)
+		}
+	}
+	return bw.Flush()
+}

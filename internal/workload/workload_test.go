@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rush/internal/apps"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	specs := TableII()
+	if len(specs) != 5 {
+		t.Fatalf("Table II has 5 experiments, got %d", len(specs))
+	}
+	byName := map[string]Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	if s := byName["ADAA"]; s.NumJobs != 190 || len(s.RunApps) != 7 || len(s.TrainApps) != 0 {
+		t.Fatalf("ADAA wrong: %+v", s)
+	}
+	if s := byName["ADPA"]; s.NumJobs != 150 || len(s.RunApps) != 3 {
+		t.Fatalf("ADPA wrong: %+v", s)
+	}
+	if s := byName["PDPA"]; len(s.TrainApps) != 4 || s.NumJobs != 150 {
+		t.Fatalf("PDPA wrong: %+v", s)
+	}
+	for _, a := range byName["PDPA"].RunApps {
+		for _, tr := range byName["PDPA"].TrainApps {
+			if a == tr {
+				t.Fatalf("PDPA train and run apps overlap: %s", a)
+			}
+		}
+	}
+	if s := byName["WS"]; s.Scaling != apps.WeakScaling || len(s.NodeCounts) != 3 {
+		t.Fatalf("WS wrong: %+v", s)
+	}
+	if s := byName["SS"]; s.Scaling != apps.StrongScaling || s.NumJobs != 190 {
+		t.Fatalf("SS wrong: %+v", s)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, err := SpecByName("ADAA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown spec should error")
+	}
+}
+
+func TestGenerateADAA(t *testing.T) {
+	spec, _ := SpecByName("ADAA")
+	jobs, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 190 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	immediate := 0
+	appCounts := map[string]int{}
+	for i, sj := range jobs {
+		if sj.Job.ID != i {
+			t.Fatal("IDs must be dense")
+		}
+		if sj.Job.Nodes != 16 {
+			t.Fatalf("ADAA job on %d nodes", sj.Job.Nodes)
+		}
+		if sj.SubmitAt == 0 {
+			immediate++
+		}
+		if sj.SubmitAt < 0 || sj.SubmitAt > SubmitWindow {
+			t.Fatalf("submit time %v outside window", sj.SubmitAt)
+		}
+		if sj.Job.Estimate < sj.Job.BaseWork*EstimateFactorRange[0] ||
+			sj.Job.Estimate > sj.Job.BaseWork*EstimateFactorRange[1] {
+			t.Fatalf("estimate %v outside over-estimation band of %v", sj.Job.Estimate, sj.Job.BaseWork)
+		}
+		appCounts[sj.Job.App.Name]++
+	}
+	if immediate != 38 { // 20% of 190
+		t.Fatalf("immediate jobs = %d, want 38", immediate)
+	}
+	// Every app gets a near-equal share (190/7 = 27.1).
+	for app, n := range appCounts {
+		if n < 25 || n > 30 {
+			t.Fatalf("app %s has %d jobs", app, n)
+		}
+	}
+}
+
+func TestGenerateScalingWorkAdjusts(t *testing.T) {
+	ws, _ := SpecByName("WS")
+	jobs, err := Generate(ws, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeCounts := map[int]int{}
+	for _, sj := range jobs {
+		nodeCounts[sj.Job.Nodes]++
+		p := sj.Job.App
+		want := p.BaseTime(sj.Job.Nodes, apps.WeakScaling)
+		if math.Abs(sj.Job.BaseWork-want) > 1e-9 {
+			t.Fatalf("WS base work = %v, want %v", sj.Job.BaseWork, want)
+		}
+	}
+	for _, n := range []int{8, 16, 32} {
+		if nodeCounts[n] == 0 {
+			t.Fatalf("no jobs at %d nodes: %v", n, nodeCounts)
+		}
+	}
+
+	ss, _ := SpecByName("SS")
+	ssJobs, _ := Generate(ss, 2)
+	for _, sj := range ssJobs {
+		want := sj.Job.App.BaseTime(sj.Job.Nodes, apps.StrongScaling)
+		if math.Abs(sj.Job.BaseWork-want) > 1e-9 {
+			t.Fatalf("SS base work = %v, want %v", sj.Job.BaseWork, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := SpecByName("PDPA")
+	a, _ := Generate(spec, 7)
+	b, _ := Generate(spec, 7)
+	for i := range a {
+		if a[i].Job.App.Name != b[i].Job.App.Name ||
+			a[i].Job.BaseWork != b[i].Job.BaseWork ||
+			a[i].SubmitAt != b[i].SubmitAt {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c, _ := Generate(spec, 8)
+	same := true
+	for i := range a {
+		if a[i].SubmitAt != c[i].SubmitAt || a[i].Job.App.Name != c[i].Job.App.Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateInterleavesApps(t *testing.T) {
+	spec, _ := SpecByName("ADAA")
+	jobs, _ := Generate(spec, 3)
+	// The first 30 jobs should contain several distinct apps (shuffled,
+	// not batched).
+	seen := map[string]bool{}
+	for _, sj := range jobs[:30] {
+		seen[sj.Job.App.Name] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("first 30 jobs span only %d apps", len(seen))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "empty"}, 1); err == nil {
+		t.Fatal("empty spec should error")
+	}
+	if _, err := Generate(Spec{Name: "noapps", NumJobs: 5, NodeCounts: []int{16}}, 1); err == nil {
+		t.Fatal("missing apps should error")
+	}
+	if _, err := Generate(Spec{Name: "badapp", NumJobs: 5, RunApps: []string{"nope"}, NodeCounts: []int{16}}, 1); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}

@@ -1,0 +1,261 @@
+// Package rush is a full reproduction of "Resource Utilization Aware Job
+// Scheduling to Mitigate Performance Variability" (Nichols, Marathe,
+// Shoga, Gamblin, Bhatele — IPDPS 2022): an end-to-end pipeline that
+// collects longitudinal proxy-application performance data against a
+// simulated HPC cluster, trains machine-learning models to predict
+// run-time variability from system counters, and uses those predictions
+// inside an FCFS+EASY scheduler (RUSH) to delay jobs that would vary.
+//
+// The package is a façade over the internal implementation; everything a
+// downstream user needs is re-exported here:
+//
+//   - Collect runs the data-collection campaign (Section III).
+//   - CompareModels and TrainPredictor reproduce model selection and the
+//     deployed three-class predictor (Section IV-A, Figure 3).
+//   - RunExperiment and RunTrial execute the Table II scheduling
+//     experiments under FCFS+EASY and RUSH (Sections IV-B, VI, VII).
+//   - The Report* functions render every figure and table of the paper's
+//     evaluation from those results.
+//
+// A minimal end-to-end run:
+//
+//	res, _ := rush.Collect(rush.CollectConfig{Days: 30, Seed: 1, Incident: true})
+//	pred, _ := rush.TrainPredictor(res.JobScope, rush.ModelAdaBoost, nil, 1)
+//	spec, _ := rush.SpecByName("ADAA")
+//	cmp, _ := rush.RunExperiment(spec, pred, 5, 1, rush.ExperimentConfig{})
+//	fmt.Print(rush.ReportVariation(cmp, rush.BaselineStats(cmp.Baseline)))
+package rush
+
+import (
+	"rush/internal/apps"
+	"rush/internal/cluster"
+	"rush/internal/core"
+	"rush/internal/dataset"
+	"rush/internal/experiments"
+	"rush/internal/mlkit"
+	"rush/internal/stats"
+	"rush/internal/workload"
+)
+
+// Cluster and application modelling.
+type (
+	// Topology describes the simulated machine (nodes, pod size, cores).
+	Topology = cluster.Topology
+	// AppProfile is one proxy application's simulation profile.
+	AppProfile = apps.Profile
+	// AppClass is the compute/network/io workload label.
+	AppClass = apps.Class
+	// NoiseConfig configures the all-to-all noise job.
+	NoiseConfig = apps.Noise
+)
+
+// Quartz returns the full 2,988-node reference topology.
+func Quartz() Topology { return cluster.Quartz() }
+
+// Pod512 returns the paper's 512-node experiment reservation.
+func Pod512() Topology { return cluster.Pod512() }
+
+// Apps returns the seven proxy-application profiles.
+func Apps() []AppProfile { return apps.Defaults() }
+
+// AppNames returns the proxy application names in canonical order.
+func AppNames() []string { return apps.Names() }
+
+// DefaultNoise returns the experiments' noise-job configuration.
+func DefaultNoise() NoiseConfig { return apps.DefaultNoise() }
+
+// Data collection and datasets.
+type (
+	// CollectConfig controls the longitudinal collection campaign.
+	CollectConfig = core.CollectConfig
+	// AmbientConfig shapes the campaign's background contention.
+	AmbientConfig = core.AmbientConfig
+	// CollectResult carries the job-scope and all-scope datasets.
+	CollectResult = core.CollectResult
+	// Dataset is a Table I feature dataset.
+	Dataset = dataset.Dataset
+	// Sample is one proxy-application run.
+	Sample = dataset.Sample
+	// AppStat summarizes one application's run-time distribution.
+	AppStat = dataset.AppStat
+)
+
+// NumFeatures is the Table I feature-vector width (282).
+const NumFeatures = dataset.NumFeatures
+
+// Label values of the variability classifier.
+const (
+	LabelNone      = dataset.LabelNone
+	LabelLittle    = dataset.LabelLittle
+	LabelVariation = dataset.LabelVariation
+)
+
+// Collect runs the data-collection campaign.
+func Collect(cfg CollectConfig) (*CollectResult, error) { return core.Collect(cfg) }
+
+// FeatureNames returns the 282 feature column names in vector order.
+func FeatureNames() []string { return dataset.FeatureNames() }
+
+// ReadDatasetCSV parses a dataset written with Dataset.WriteCSV.
+var ReadDatasetCSV = dataset.ReadCSV
+
+// Models and training.
+type (
+	// Classifier is a trained variability model.
+	Classifier = mlkit.Classifier
+	// ModelName names one of the four candidate models.
+	ModelName = core.ModelName
+	// ModelScore is one Figure 3 bar.
+	ModelScore = core.ModelScore
+	// Predictor is the deployed model plus reference statistics.
+	Predictor = core.Predictor
+)
+
+// The four candidate models of Figure 3, plus the gradient-boosting
+// extension.
+const (
+	ModelExtraTrees       = core.ModelExtraTrees
+	ModelDecisionForest   = core.ModelDecisionForest
+	ModelKNN              = core.ModelKNN
+	ModelAdaBoost         = core.ModelAdaBoost
+	ModelGradientBoosting = core.ModelGradientBoosting
+)
+
+// AllModels lists the candidate models in Figure 3 order.
+func AllModels() []ModelName { return core.AllModels() }
+
+// ExtendedModels adds the models beyond the paper's four.
+func ExtendedModels() []ModelName { return core.ExtendedModels() }
+
+// TemporalFold is one train-on-past / test-on-future evaluation.
+type TemporalFold = core.TemporalFold
+
+// TemporalValidation evaluates a model with sliding
+// train-on-past/test-on-future splits — the deployment-honest protocol.
+func TemporalValidation(ds *Dataset, name ModelName, minTrainDays, testDays, stepDays float64, seed int64) ([]TemporalFold, error) {
+	return core.TemporalValidation(ds, name, minTrainDays, testDays, stepDays, seed)
+}
+
+// NewModel constructs an untrained candidate model by name.
+func NewModel(name ModelName, seed int64) (Classifier, error) { return core.NewModel(name, seed) }
+
+// CompareModels cross-validates all four candidates (Figure 3).
+func CompareModels(ds *Dataset, scope string, seed int64) ([]ModelScore, error) {
+	return core.CompareModels(ds, scope, seed)
+}
+
+// SelectBest picks the highest-F1 score row.
+func SelectBest(scores []ModelScore) (ModelScore, error) { return core.SelectBest(scores) }
+
+// TrainPredictor trains the deployed three-class model.
+func TrainPredictor(ds *Dataset, name ModelName, trainApps []string, seed int64) (*Predictor, error) {
+	return core.TrainPredictor(ds, name, trainApps, seed)
+}
+
+// LoadPredictor reads a predictor saved with Predictor.Save.
+func LoadPredictor(data []byte) (*Predictor, error) { return core.LoadPredictor(data) }
+
+// SaveModel and LoadModel serialize bare classifiers.
+var (
+	SaveModel = mlkit.SaveModel
+	LoadModel = mlkit.LoadModel
+)
+
+// Feature selection.
+type (
+	// RFEConfig controls recursive feature elimination.
+	RFEConfig = mlkit.RFEConfig
+	// RFEResult is an elimination trajectory and the selected subset.
+	RFEResult = mlkit.RFEResult
+)
+
+// RunRFE performs recursive feature elimination for the named model on
+// the dataset's binary variation labels (the paper's feature-selection
+// procedure).
+func RunRFE(ds *Dataset, name ModelName, cfg RFEConfig) (RFEResult, error) {
+	if _, err := core.NewModel(name, cfg.Seed); err != nil {
+		return RFEResult{}, err
+	}
+	return mlkit.RFE(func() mlkit.Classifier {
+		m, _ := core.NewModel(name, cfg.Seed)
+		return m
+	}, ds.X(), ds.BinaryLabels(), cfg)
+}
+
+// Scheduling experiments.
+type (
+	// ExperimentSpec is one Table II experiment definition.
+	ExperimentSpec = workload.Spec
+	// ExperimentConfig controls the experiment environment.
+	ExperimentConfig = experiments.Config
+	// Policy names a scheduling policy under test.
+	Policy = experiments.Policy
+	// Trial is one workload execution.
+	Trial = experiments.Trial
+	// JobRecord is one job's outcome.
+	JobRecord = experiments.JobRecord
+	// Comparison pairs baseline and RUSH trials of one experiment.
+	Comparison = experiments.Comparison
+	// RunTimeSummary describes a run-time distribution.
+	RunTimeSummary = stats.Summary
+)
+
+// The scheduling policies: the paper's pair plus the canary-heuristic
+// comparison gate.
+const (
+	PolicyBaseline = experiments.Baseline
+	PolicyRUSH     = experiments.RUSH
+	PolicyCanary   = experiments.Canary
+)
+
+// TableII returns the five experiment specifications.
+func TableII() []ExperimentSpec { return workload.TableII() }
+
+// SpecByName returns a Table II spec by name (ADAA, ADPA, PDPA, WS, SS).
+func SpecByName(name string) (ExperimentSpec, error) { return workload.SpecByName(name) }
+
+// RunTrial executes one workload under one policy.
+func RunTrial(spec ExperimentSpec, policy Policy, pred *Predictor, seed int64, cfg ExperimentConfig) (*Trial, error) {
+	return experiments.RunTrial(spec, policy, pred, seed, cfg)
+}
+
+// RunExperiment runs paired baseline/RUSH trials.
+func RunExperiment(spec ExperimentSpec, pred *Predictor, trials int, baseSeed int64, cfg ExperimentConfig) (*Comparison, error) {
+	return experiments.RunExperiment(spec, pred, trials, baseSeed, cfg)
+}
+
+// Evaluation metrics (Section VI-C).
+var (
+	// BaselineStats derives per-app reference statistics from baseline trials.
+	BaselineStats = experiments.BaselineStats
+	// MeanVariationCounts averages per-app variation counts across trials.
+	MeanVariationCounts = experiments.MeanVariationCounts
+	// TotalVariation sums variation counts over apps (the 17 -> 4 headline).
+	TotalVariation = experiments.TotalVariation
+	// RunTimesByApp pools run times per application.
+	RunTimesByApp = experiments.RunTimesByApp
+	// SummaryByApp summarizes run-time distributions per application.
+	SummaryByApp = experiments.SummaryByApp
+	// MaxRunTimeImprovement computes Figure 9's percent improvements.
+	MaxRunTimeImprovement = experiments.MaxRunTimeImprovement
+	// MeanWaitByApp averages queue waits per application.
+	MeanWaitByApp = experiments.MeanWaitByApp
+	// MeanMakespan averages trial makespans.
+	MeanMakespan = experiments.MeanMakespan
+	// MeanUtilization averages busy node-seconds over capacity.
+	MeanUtilization = experiments.MeanUtilization
+)
+
+// Report renderers: one per paper figure/table.
+var (
+	ReportFigure1        = experiments.ReportFigure1
+	ReportTableI         = experiments.ReportTableI
+	ReportFigure3        = experiments.ReportFigure3
+	ReportTableII        = experiments.ReportTableII
+	ReportVariation      = experiments.ReportVariation
+	ReportRunTimeDist    = experiments.ReportRunTimeDist
+	ReportScalingDist    = experiments.ReportScalingDist
+	ReportMaxImprovement = experiments.ReportMaxImprovement
+	ReportMakespan       = experiments.ReportMakespan
+	ReportWaitTimes      = experiments.ReportWaitTimes
+)
