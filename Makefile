@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the full gate: formatting, static analysis, and the test suite
+# under the race detector.
+ci: fmt vet race

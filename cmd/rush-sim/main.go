@@ -16,6 +16,7 @@ import (
 
 	"rush/internal/core"
 	"rush/internal/experiments"
+	"rush/internal/faults"
 	"rush/internal/sched"
 	"rush/internal/workload"
 )
@@ -34,6 +35,11 @@ func main() {
 	sjf := flag.Bool("sjf", false, "use shortest-job-first queue ordering instead of FCFS")
 	backfill := flag.String("backfill", "easy", "backfill discipline: easy, none, or conservative")
 	tracePrefix := flag.String("trace", "", "write per-job traces to <prefix>-<policy>-<trial>.csv")
+	nodeMTBF := flag.Float64("node-mtbf", 0, "per-node mean time between failures in seconds (0 disables node faults)")
+	nodeMTTR := flag.Float64("node-mttr", 0, "per-node mean time to repair in seconds (default 1800 when -node-mtbf is set)")
+	telemetryLoss := flag.Float64("telemetry-loss", 0, "probability a telemetry table sample is dropped, in [0,1]")
+	telemetryFreeze := flag.Float64("telemetry-freeze", 0, "probability a node's counters freeze per window, in [0,1]")
+	modelOutage := flag.Float64("model-outage", 0, "fraction of time the predictor service is unreachable, in [0,1]")
 	flag.Parse()
 
 	spec, err := workload.SpecByName(*expName)
@@ -41,6 +47,16 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := experiments.Config{DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf}
+	cfg.Faults = faults.Config{
+		NodeMTBF:      *nodeMTBF,
+		NodeMTTR:      *nodeMTTR,
+		TelemetryLoss: *telemetryLoss,
+		FreezeProb:    *telemetryFreeze,
+		ModelOutage:   *modelOutage,
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	switch *backfill {
 	case "easy":
 		cfg.Backfill = sched.EASYBackfill
@@ -85,6 +101,9 @@ func main() {
 		}
 		fmt.Print(experiments.ReportMakespan([]*experiments.Comparison{cmp}))
 		fmt.Print(experiments.ReportWaitTimes(cmp))
+		if cfg.Faults.Enabled() {
+			fmt.Print(experiments.ReportFaults(cmp))
+		}
 	case "baseline", "rush":
 		pol := experiments.Baseline
 		if *policy == "rush" {
@@ -100,6 +119,10 @@ func main() {
 			}
 			fmt.Printf("trial %d: policy=%s jobs=%d makespan=%.0fs evals=%d vetoes=%d\n",
 				i, tr.Policy, len(tr.Jobs), tr.Makespan, tr.GateEvaluations, tr.GateVetoes)
+			if cfg.Faults.Enabled() {
+				fmt.Printf("  faults: nodefail=%d kills=%d failedjobs=%d lostwork=%.0fs degraded=%d trips=%d downtime=%.0fs\n",
+					tr.NodeFailures, tr.JobKills, tr.FailedJobs, tr.LostWork, tr.GateDegraded, tr.BreakerTrips, tr.DegradedTime)
+			}
 		}
 	default:
 		log.Fatalf("unknown policy %q (want baseline, rush, or both)", *policy)

@@ -84,32 +84,84 @@ func (a Allocation) Pods(t Topology) []int {
 
 // Allocator hands out nodes to jobs. It is not safe for concurrent use;
 // the discrete-event simulator is single-threaded by design.
+//
+// Nodes may be taken out of service with MarkDown (fault injection);
+// down nodes are never handed out, whether or not they are currently
+// allocated, until MarkUp returns them.
 type Allocator struct {
-	topo Topology
-	free []bool // free[i] == true when node i is available
-	used int
+	topo     Topology
+	free     []bool // free[i] == true when node i is not allocated
+	down     []bool // down[i] == true when node i is out of service
+	used     int    // allocated nodes
+	downFree int    // nodes both free and down (unallocatable)
+	downAll  int    // all down nodes
 }
 
-// NewAllocator returns an allocator with every node free.
-func NewAllocator(topo Topology) *Allocator {
+// NewAllocator returns an allocator with every node free and in service.
+// It returns an error for an invalid topology.
+func NewAllocator(topo Topology) (*Allocator, error) {
 	if err := topo.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	free := make([]bool, topo.Nodes)
 	for i := range free {
 		free[i] = true
 	}
-	return &Allocator{topo: topo, free: free}
+	return &Allocator{topo: topo, free: free, down: make([]bool, topo.Nodes)}, nil
 }
 
 // Topology returns the allocator's topology.
 func (a *Allocator) Topology() Topology { return a.topo }
 
-// FreeCount returns the number of currently free nodes.
-func (a *Allocator) FreeCount() int { return a.topo.Nodes - a.used }
+// FreeCount returns the number of nodes currently available to allocate
+// (free and in service).
+func (a *Allocator) FreeCount() int { return a.topo.Nodes - a.used - a.downFree }
 
 // UsedCount returns the number of currently allocated nodes.
 func (a *Allocator) UsedCount() int { return a.used }
+
+// DownCount returns the number of out-of-service nodes.
+func (a *Allocator) DownCount() int { return a.downAll }
+
+// Down reports whether node n is out of service.
+func (a *Allocator) Down(n NodeID) bool {
+	return int(n) >= 0 && int(n) < a.topo.Nodes && a.down[n]
+}
+
+// MarkDown takes node n out of service. A free node leaves the
+// allocatable pool immediately; an allocated node keeps running (the
+// caller decides whether to kill the job) but will not be handed out
+// again after it is freed. Marking a node down twice is a no-op.
+func (a *Allocator) MarkDown(n NodeID) error {
+	if int(n) < 0 || int(n) >= a.topo.Nodes {
+		return fmt.Errorf("cluster: mark down of out-of-range node %d", n)
+	}
+	if a.down[n] {
+		return nil
+	}
+	a.down[n] = true
+	a.downAll++
+	if a.free[n] {
+		a.downFree++
+	}
+	return nil
+}
+
+// MarkUp returns node n to service. Restoring an up node is a no-op.
+func (a *Allocator) MarkUp(n NodeID) error {
+	if int(n) < 0 || int(n) >= a.topo.Nodes {
+		return fmt.Errorf("cluster: mark up of out-of-range node %d", n)
+	}
+	if !a.down[n] {
+		return nil
+	}
+	a.down[n] = false
+	a.downAll--
+	if a.free[n] {
+		a.downFree--
+	}
+	return nil
+}
 
 // CanAlloc reports whether n nodes are currently available.
 func (a *Allocator) CanAlloc(n int) bool {
@@ -127,11 +179,11 @@ func (a *Allocator) Alloc(n int) (Allocation, error) {
 	if !a.CanAlloc(n) {
 		return Allocation{}, fmt.Errorf("cluster: want %d nodes, only %d free", n, a.FreeCount())
 	}
-	// Count free nodes per pod, then fill from the emptiest pods.
+	// Count allocatable nodes per pod, then fill from the emptiest pods.
 	pods := a.topo.Pods()
 	freeByPod := make([]int, pods)
 	for i, f := range a.free {
-		if f {
+		if f && !a.down[i] {
 			freeByPod[a.topo.PodOf(NodeID(i))]++
 		}
 	}
@@ -154,7 +206,7 @@ func (a *Allocator) Alloc(n int) (Allocation, error) {
 			hi = a.topo.Nodes
 		}
 		for i := lo; i < hi && len(nodes) < n; i++ {
-			if a.free[i] {
+			if a.free[i] && !a.down[i] {
 				a.free[i] = false
 				a.used++
 				nodes = append(nodes, NodeID(i))
@@ -181,15 +233,19 @@ func (a *Allocator) Free(alloc Allocation) {
 		}
 		a.free[n] = true
 		a.used--
+		if a.down[n] {
+			a.downFree++ // stays out of the pool until MarkUp
+		}
 	}
 }
 
-// FreeNodes returns the IDs of all currently free nodes in ascending
-// order. It is used by telemetry scopes and by tests.
+// FreeNodes returns the IDs of all currently allocatable nodes (free and
+// in service) in ascending order. It is used by telemetry scopes and by
+// tests.
 func (a *Allocator) FreeNodes() []NodeID {
 	var out []NodeID
 	for i, f := range a.free {
-		if f {
+		if f && !a.down[i] {
 			out = append(out, NodeID(i))
 		}
 	}

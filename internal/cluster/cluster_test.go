@@ -5,6 +5,14 @@ import (
 	"testing/quick"
 )
 
+func newAlloc(topo Topology) *Allocator {
+	a, err := NewAllocator(topo)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
 func TestTopologyValidate(t *testing.T) {
 	if err := Quartz().Validate(); err != nil {
 		t.Fatal(err)
@@ -36,7 +44,7 @@ func TestPodMath(t *testing.T) {
 }
 
 func TestAllocFreeRoundTrip(t *testing.T) {
-	a := NewAllocator(Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4})
+	a := newAlloc(Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4})
 	alloc, err := a.Alloc(16)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +63,7 @@ func TestAllocFreeRoundTrip(t *testing.T) {
 
 func TestAllocPacksIntoOnePod(t *testing.T) {
 	topo := Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4}
-	a := NewAllocator(topo)
+	a := newAlloc(topo)
 	alloc, err := a.Alloc(16)
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +74,7 @@ func TestAllocPacksIntoOnePod(t *testing.T) {
 }
 
 func TestAllocExhaustion(t *testing.T) {
-	a := NewAllocator(Topology{Nodes: 8, PodSize: 8, CoresPerNode: 1})
+	a := newAlloc(Topology{Nodes: 8, PodSize: 8, CoresPerNode: 1})
 	if _, err := a.Alloc(8); err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +87,7 @@ func TestAllocExhaustion(t *testing.T) {
 }
 
 func TestAllocRejectsBadSizes(t *testing.T) {
-	a := NewAllocator(Pod512())
+	a := newAlloc(Pod512())
 	if _, err := a.Alloc(0); err == nil {
 		t.Fatal("Alloc(0) should fail")
 	}
@@ -92,7 +100,7 @@ func TestAllocRejectsBadSizes(t *testing.T) {
 }
 
 func TestDoubleFreePanics(t *testing.T) {
-	a := NewAllocator(Pod512())
+	a := newAlloc(Pod512())
 	alloc, _ := a.Alloc(4)
 	a.Free(alloc)
 	defer func() {
@@ -108,7 +116,7 @@ func TestDoubleFreePanics(t *testing.T) {
 func TestAllocatorNeverDoubleBooks(t *testing.T) {
 	f := func(ops []uint8) bool {
 		topo := Topology{Nodes: 48, PodSize: 16, CoresPerNode: 4}
-		a := NewAllocator(topo)
+		a := newAlloc(topo)
 		var live []Allocation
 		owned := map[NodeID]bool{}
 		for _, op := range ops {
@@ -144,8 +152,87 @@ func TestAllocatorNeverDoubleBooks(t *testing.T) {
 	}
 }
 
+func TestMarkDownRemovesFreeNodeFromPool(t *testing.T) {
+	a := newAlloc(Topology{Nodes: 8, PodSize: 8, CoresPerNode: 1})
+	if err := a.MarkDown(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCount() != 7 || a.DownCount() != 1 || !a.Down(3) {
+		t.Fatalf("free=%d down=%d", a.FreeCount(), a.DownCount())
+	}
+	alloc, err := a.Alloc(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range alloc.Nodes {
+		if n == 3 {
+			t.Fatal("allocated a down node")
+		}
+	}
+	if a.CanAlloc(1) {
+		t.Fatal("only the down node remains; CanAlloc must be false")
+	}
+	if err := a.MarkUp(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCount() != 1 || a.DownCount() != 0 {
+		t.Fatalf("after MarkUp: free=%d down=%d", a.FreeCount(), a.DownCount())
+	}
+	a.Free(alloc)
+}
+
+func TestMarkDownAllocatedNodeStaysOutAfterFree(t *testing.T) {
+	a := newAlloc(Topology{Nodes: 4, PodSize: 4, CoresPerNode: 1})
+	alloc, err := a.Alloc(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDown(2); err != nil {
+		t.Fatal(err)
+	}
+	// Down-but-allocated: the job keeps its node until the caller frees.
+	if a.FreeCount() != 0 || a.UsedCount() != 4 {
+		t.Fatalf("free=%d used=%d", a.FreeCount(), a.UsedCount())
+	}
+	a.Free(alloc)
+	if a.FreeCount() != 3 {
+		t.Fatalf("down node must stay out of the pool: free=%d", a.FreeCount())
+	}
+	if err := a.MarkUp(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCount() != 4 {
+		t.Fatalf("free=%d after restore", a.FreeCount())
+	}
+}
+
+func TestMarkDownBounds(t *testing.T) {
+	a := newAlloc(Topology{Nodes: 4, PodSize: 4, CoresPerNode: 1})
+	if err := a.MarkDown(-1); err == nil {
+		t.Fatal("negative node should error")
+	}
+	if err := a.MarkDown(4); err == nil {
+		t.Fatal("out-of-range node should error")
+	}
+	if err := a.MarkDown(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkDown(1); err != nil {
+		t.Fatal("second MarkDown should be a no-op, not an error")
+	}
+	if a.DownCount() != 1 {
+		t.Fatalf("down=%d after double mark", a.DownCount())
+	}
+}
+
+func TestNewAllocatorRejectsInvalidTopology(t *testing.T) {
+	if _, err := NewAllocator(Topology{Nodes: 0, PodSize: 1, CoresPerNode: 1}); err == nil {
+		t.Fatal("invalid topology should be rejected")
+	}
+}
+
 func TestFreeNodesSortedAndComplete(t *testing.T) {
-	a := NewAllocator(Topology{Nodes: 10, PodSize: 5, CoresPerNode: 1})
+	a := newAlloc(Topology{Nodes: 10, PodSize: 5, CoresPerNode: 1})
 	alloc, _ := a.Alloc(3)
 	free := a.FreeNodes()
 	if len(free) != 7 {

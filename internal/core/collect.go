@@ -151,7 +151,10 @@ type CollectResult struct {
 func Collect(cfg CollectConfig) (*CollectResult, error) {
 	cfg.fill()
 	eng := sim.New(cfg.Seed)
-	m := machine.New(eng, cfg.Topo)
+	m, err := machine.New(eng, cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	res := &CollectResult{JobScope: &dataset.Dataset{}, AllScope: &dataset.Dataset{}}
 
 	amb := newAmbient(m, cfg)

@@ -14,6 +14,7 @@ import (
 	"rush/internal/apps"
 	"rush/internal/cluster"
 	"rush/internal/core"
+	"rush/internal/faults"
 	"rush/internal/machine"
 	"rush/internal/sched"
 	"rush/internal/sim"
@@ -62,6 +63,10 @@ type Config struct {
 	// MaxSimTime aborts a trial that fails to drain (safety net;
 	// default 6 hours of simulated time).
 	MaxSimTime float64
+	// Faults injects node failures, telemetry dropouts, and predictor
+	// outages into the trial (robustness evaluation). The zero value
+	// injects nothing and leaves clean runs bit-identical.
+	Faults faults.Config
 }
 
 func (c *Config) fill() {
@@ -88,6 +93,13 @@ type JobRecord struct {
 	RunTime   float64
 	Skips     int
 	Immediate bool // submitted at t=0 (Fig 11 excludes these)
+
+	// Retries counts node-failure kills the job survived; LostWork is
+	// the execution time those kills discarded; Failed marks a job that
+	// exhausted its retry budget and never finished.
+	Retries  int
+	LostWork float64
+	Failed   bool
 }
 
 // Trial is one full workload execution under one policy.
@@ -103,6 +115,18 @@ type Trial struct {
 	GateEvaluations    int
 	GateVetoes         int
 	ThresholdOverrides int
+
+	// Fault-injection outcomes (all zero in clean runs).
+	NodeFailures int
+	NodeRepairs  int
+	JobKills     int
+	FailedJobs   int
+	LostWork     float64
+	// GateDegraded counts gate decisions that failed open; BreakerTrips
+	// and DegradedTime describe the predictor circuit breaker.
+	GateDegraded int
+	BreakerTrips int
+	DegradedTime float64
 }
 
 // RunTrial executes spec once under the given policy. The same seed
@@ -121,8 +145,15 @@ func RunTrial(spec workload.Spec, policy Policy, pred *core.Predictor, seed int6
 func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
 	cfg.fill()
 	eng := sim.New(seed)
-	m := machine.New(eng, cfg.Topo)
+	m, err := machine.New(eng, cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	noise, err := m.StartNoise(cfg.Noise)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	inj, err := faults.Attach(m, cfg.Faults, eng.Source().Derive("faults"))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -138,6 +169,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		rushGate = sched.NewRUSH(m, pred.Model)
 		rushGate.AllNodesScope = cfg.AllNodesScope
 		rushGate.ProbThreshold = cfg.ProbThreshold
+		rushGate.ModelDown = inj.ModelDown()
 		if cfg.DelayOnLittle {
 			rushGate.VariationLabels[1] = true // dataset.LabelLittle
 		}
@@ -159,6 +191,10 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	immediate := map[int]bool{}
 	for _, sj := range jobs {
 		sj := sj
+		if sj.Job.Nodes <= 0 || sj.Job.Nodes > cfg.Topo.Nodes {
+			return nil, fmt.Errorf("experiments: job %d requests %d nodes on a %d-node machine",
+				sj.Job.ID, sj.Job.Nodes, cfg.Topo.Nodes)
+		}
 		immediate[sj.Job.ID] = sj.SubmitAt == 0
 		eng.At(sj.SubmitAt, func() { s.Submit(sj.Job) })
 	}
@@ -176,6 +212,9 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		}
 	}
 	noise.Stop()
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 
 	tr := &Trial{Experiment: name, Policy: policy, Seed: seed}
 	var lastEnd float64
@@ -185,20 +224,32 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 			Submit: j.SubmitTime, Start: j.StartTime, End: j.EndTime,
 			Wait: j.WaitTime(), RunTime: j.RunTime(), Skips: j.Skips,
 			Immediate: immediate[j.ID],
+			Retries:   j.Retries, LostWork: j.LostWork, Failed: j.Failed,
 		}
-		if math.IsNaN(rec.RunTime) || rec.RunTime <= 0 {
+		if rec.Failed {
+			tr.FailedJobs++
+		} else if math.IsNaN(rec.RunTime) || rec.RunTime <= 0 {
 			return nil, fmt.Errorf("experiments: job %d has invalid run time", j.ID)
 		}
+		tr.LostWork += rec.LostWork
 		tr.Jobs = append(tr.Jobs, rec)
 		if j.EndTime > lastEnd {
 			lastEnd = j.EndTime
 		}
 	}
 	tr.Makespan = lastEnd // first submission is at t = 0
+	tr.NodeFailures = inj.NodeFailures
+	tr.NodeRepairs = inj.NodeRepairs
+	tr.JobKills = inj.JobKills
 	if rushGate != nil {
 		tr.GateEvaluations = rushGate.Evaluations
 		tr.GateVetoes = rushGate.Vetoes
 		tr.ThresholdOverrides = rushGate.ThresholdOverrides
+		tr.GateDegraded = rushGate.Degraded
+		tr.DegradedTime = rushGate.DegradedTime()
+		if rushGate.Breaker != nil {
+			tr.BreakerTrips = rushGate.Breaker.Trips
+		}
 	}
 	if canaryGate != nil {
 		tr.GateEvaluations = canaryGate.Evaluations
@@ -218,6 +269,55 @@ type Comparison struct {
 
 // DefaultTrials is the paper's per-policy repetition count.
 const DefaultTrials = 5
+
+// FaultScenario names one fault configuration of a robustness sweep.
+type FaultScenario struct {
+	Name   string
+	Faults faults.Config
+}
+
+// DefaultFaultScenarios is the standard robustness sweep: a clean run,
+// then each fault class alone, then everything at once.
+func DefaultFaultScenarios() []FaultScenario {
+	return []FaultScenario{
+		{Name: "clean"},
+		{Name: "node-churn", Faults: faults.Config{NodeMTBF: 4 * 3600, NodeMTTR: 900}},
+		{Name: "telemetry-loss", Faults: faults.Config{TelemetryLoss: 0.2, FreezeProb: 0.05}},
+		{Name: "model-outage", Faults: faults.Config{ModelOutage: 0.3}},
+		{Name: "all-faults", Faults: faults.Config{
+			NodeMTBF: 4 * 3600, NodeMTTR: 900,
+			TelemetryLoss: 0.2, FreezeProb: 0.05,
+			ModelOutage: 0.3,
+		}},
+	}
+}
+
+// FaultRow is one scenario's paired baseline/RUSH comparison.
+type FaultRow struct {
+	Scenario FaultScenario
+	Cmp      *Comparison
+}
+
+// FaultMatrix runs spec under every fault scenario, paired baseline vs
+// RUSH with seeds baseSeed+i, and returns one row per scenario. It is
+// the robustness counterpart of RunExperiment: the same workload and
+// seeds across rows, so differences between rows are the faults' doing.
+func FaultMatrix(spec workload.Spec, pred *core.Predictor, scenarios []FaultScenario, trials int, baseSeed int64, cfg Config) ([]FaultRow, error) {
+	if len(scenarios) == 0 {
+		scenarios = DefaultFaultScenarios()
+	}
+	rows := make([]FaultRow, 0, len(scenarios))
+	for _, sc := range scenarios {
+		scCfg := cfg
+		scCfg.Faults = sc.Faults
+		cmp, err := RunExperiment(spec, pred, trials, baseSeed, scCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fault scenario %q: %w", sc.Name, err)
+		}
+		rows = append(rows, FaultRow{Scenario: sc, Cmp: cmp})
+	}
+	return rows, nil
+}
 
 // RunExperiment runs spec trials times under each policy with paired
 // seeds (baseSeed+i) and returns the comparison.

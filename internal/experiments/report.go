@@ -216,3 +216,41 @@ func ReportWaitTimes(cmp *Comparison) string {
 	}
 	return b.String()
 }
+
+// ReportFaults renders per-policy fault-injection outcomes averaged over
+// trials: injected node failures and job kills, jobs abandoned after
+// exhausting their retry budget, execution time lost to kills, and —
+// for RUSH — how often and for how long the gate ran degraded.
+func ReportFaults(cmp *Comparison) string {
+	mean := func(trials []*Trial, f func(*Trial) float64) float64 {
+		if len(trials) == 0 {
+			return 0
+		}
+		var s float64
+		for _, tr := range trials {
+			s += f(tr)
+		}
+		return s / float64(len(trials))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: fault-injection outcomes (mean per trial)\n", cmp.Experiment)
+	for _, side := range []struct {
+		name   string
+		trials []*Trial
+	}{{"FCFS+EASY", cmp.Baseline}, {"RUSH", cmp.RUSH}} {
+		fmt.Fprintf(&b, "  %-9s nodefail=%.1f kills=%.1f failedjobs=%.1f lostwork=%.0fs",
+			side.name,
+			mean(side.trials, func(t *Trial) float64 { return float64(t.NodeFailures) }),
+			mean(side.trials, func(t *Trial) float64 { return float64(t.JobKills) }),
+			mean(side.trials, func(t *Trial) float64 { return float64(t.FailedJobs) }),
+			mean(side.trials, func(t *Trial) float64 { return t.LostWork }))
+		if side.name == "RUSH" {
+			fmt.Fprintf(&b, " degraded=%.1f trips=%.1f downtime=%.0fs",
+				mean(side.trials, func(t *Trial) float64 { return float64(t.GateDegraded) }),
+				mean(side.trials, func(t *Trial) float64 { return float64(t.BreakerTrips) }),
+				mean(side.trials, func(t *Trial) float64 { return t.DegradedTime }))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -32,6 +32,11 @@ type RunningJob struct {
 	// EndTime is when the job finished; NaN while running.
 	EndTime float64
 
+	// Killed is true when the job was terminated by a node failure
+	// instead of finishing; EndTime then records the kill instant and
+	// the remaining work was lost.
+	Killed bool
+
 	jitter    float64 // per-run lognormal noise multiplier (>= ~1)
 	remaining float64 // seconds of base work left
 	slowdown  float64 // current wall-seconds per base-work second
@@ -62,20 +67,28 @@ type Machine struct {
 }
 
 // New constructs a machine over topo, with all randomness derived from
-// the engine's root source.
-func New(eng *sim.Engine, topo cluster.Topology) *Machine {
+// the engine's root source. It returns an error for an invalid topology.
+func New(eng *sim.Engine, topo cluster.Topology) (*Machine, error) {
+	alloc, err := cluster.NewAllocator(topo)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	net, err := simnet.NewState(topo, eng.Now)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
 	m := &Machine{
 		Eng:     eng,
 		Topo:    topo,
-		Alloc:   cluster.NewAllocator(topo),
-		Net:     simnet.NewState(topo, eng.Now),
+		Alloc:   alloc,
+		Net:     net,
 		Sampler: telemetry.NewSampler(topo, eng.Source().Derive("telemetry")),
 		rng:     eng.Source().Derive("machine"),
 		probes:  eng.Source().Derive("probes"),
 		jobs:    map[*RunningJob]struct{}{},
 	}
 	m.Net.Subscribe(m.onStateChange)
-	return m
+	return m, nil
 }
 
 // Running returns the number of currently executing jobs.
@@ -155,6 +168,61 @@ func (m *Machine) complete(rj *RunningJob) {
 	m.advance(rj)
 	rj.EndTime = m.Eng.Now()
 	rj.done = nil
+	delete(m.jobs, rj)
+	m.Alloc.Free(rj.Alloc)
+	m.Net.Remove(rj.contrib)
+	if rj.onDone != nil {
+		rj.onDone(rj)
+	}
+}
+
+// FailNode takes node out of service: the allocator stops handing it out
+// and any job running on it is killed — its allocation freed, its load
+// withdrawn, and its onDone callback invoked with Killed == true so the
+// scheduler can requeue it. It returns the number of jobs killed (0 or 1;
+// allocations are exclusive).
+func (m *Machine) FailNode(node cluster.NodeID) (int, error) {
+	if err := m.Alloc.MarkDown(node); err != nil {
+		return 0, fmt.Errorf("machine: %w", err)
+	}
+	var victim *RunningJob
+	for rj := range m.jobs {
+		for _, n := range rj.Alloc.Nodes {
+			if n == node {
+				victim = rj
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	if victim == nil {
+		return 0, nil
+	}
+	m.kill(victim)
+	return 1, nil
+}
+
+// RestoreNode returns a previously failed node to service.
+func (m *Machine) RestoreNode(node cluster.NodeID) error {
+	if err := m.Alloc.MarkUp(node); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	return nil
+}
+
+// kill terminates a running job mid-flight: progress is lost, the
+// allocation is freed (down nodes stay out of the pool), and the load is
+// withdrawn before onDone fires.
+func (m *Machine) kill(rj *RunningJob) {
+	m.advance(rj)
+	if rj.done != nil {
+		m.Eng.Cancel(rj.done)
+		rj.done = nil
+	}
+	rj.EndTime = m.Eng.Now()
+	rj.Killed = true
 	delete(m.jobs, rj)
 	m.Alloc.Free(rj.Alloc)
 	m.Net.Remove(rj.contrib)

@@ -12,7 +12,11 @@ import (
 
 func newMachine(seed int64) *Machine {
 	eng := sim.New(seed)
-	return New(eng, cluster.Topology{Nodes: 64, PodSize: 64, CoresPerNode: 4})
+	m, err := New(eng, cluster.Topology{Nodes: 64, PodSize: 64, CoresPerNode: 4})
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 func calmProfile() apps.Profile {
@@ -266,5 +270,65 @@ func TestMultiPodJobFeelsCoreContention(t *testing.T) {
 }
 
 func machineOverTopo(eng *sim.Engine, topo cluster.Topology) *Machine {
-	return New(eng, topo)
+	m, err := New(eng, topo)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestFailNodeKillsVictimAndRestores(t *testing.T) {
+	m := newMachine(9)
+	alloc, _ := m.Alloc.Alloc(8)
+	var done *RunningJob
+	m.StartJob(calmProfile(), alloc, 100, func(rj *RunningJob) { done = rj })
+	m.Eng.Schedule(40, func() {
+		kills, err := m.FailNode(alloc.Nodes[0])
+		if err != nil {
+			t.Errorf("FailNode: %v", err)
+		}
+		if kills != 1 {
+			t.Errorf("kills = %d, want 1", kills)
+		}
+	})
+	m.Eng.RunUntil(50)
+	if done == nil {
+		t.Fatal("kill must invoke onDone")
+	}
+	if !done.Killed {
+		t.Fatal("killed job must carry Killed flag")
+	}
+	if math.Abs(done.EndTime-40) > 1e-9 {
+		t.Fatalf("kill time = %v, want 40", done.EndTime)
+	}
+	if m.Running() != 0 || m.Alloc.UsedCount() != 0 {
+		t.Fatal("killed job must release its allocation")
+	}
+	// The failed node stays out of the pool until restored.
+	if m.Alloc.FreeCount() != 63 || m.Alloc.DownCount() != 1 {
+		t.Fatalf("free=%d down=%d", m.Alloc.FreeCount(), m.Alloc.DownCount())
+	}
+	if m.Net.NetLoad(0) != 0 {
+		t.Fatal("killed job's load must be withdrawn")
+	}
+	if err := m.RestoreNode(alloc.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if m.Alloc.FreeCount() != 64 {
+		t.Fatalf("free=%d after restore", m.Alloc.FreeCount())
+	}
+}
+
+func TestFailIdleNodeKillsNothing(t *testing.T) {
+	m := newMachine(10)
+	kills, err := m.FailNode(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kills != 0 {
+		t.Fatalf("kills = %d on an idle machine", kills)
+	}
+	if m.Alloc.FreeCount() != 63 {
+		t.Fatalf("free=%d", m.Alloc.FreeCount())
+	}
 }

@@ -55,15 +55,25 @@ type AdaBoost struct {
 }
 
 // stump is a depth-1 decision rule: class left/right of one threshold.
+// DefaultLeft is the side holding more training weight; samples whose
+// split feature is missing (NaN) are routed there.
 type stump struct {
-	Feature    int
-	Threshold  float64
-	LeftClass  int // index into classes
-	RightClass int
+	Feature     int
+	Threshold   float64
+	LeftClass   int // index into classes
+	RightClass  int
+	DefaultLeft bool
 }
 
 func (s stump) predict(sample []float64) int {
-	if sample[s.Feature] <= s.Threshold {
+	v := sample[s.Feature]
+	if math.IsNaN(v) {
+		if s.DefaultLeft {
+			return s.LeftClass
+		}
+		return s.RightClass
+	}
+	if v <= s.Threshold {
 		return s.LeftClass
 	}
 	return s.RightClass
@@ -269,7 +279,11 @@ func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int) (stu
 			e := totalW - blw - brw
 			if e < bestErr {
 				bestErr = e
-				best = stump{Feature: f, Threshold: v + (next-v)/2, LeftClass: bl, RightClass: br}
+				best = stump{
+					Feature: f, Threshold: v + (next-v)/2,
+					LeftClass: bl, RightClass: br,
+					DefaultLeft: leftW >= totalW-leftW,
+				}
 			}
 		}
 	}

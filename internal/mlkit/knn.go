@@ -60,12 +60,7 @@ func (k *KNN) Predict(sample []float64) int {
 	}
 	hits := make([]hit, len(k.x))
 	for i, row := range k.x {
-		var d float64
-		for j := range row {
-			diff := row[j] - q[j]
-			d += diff * diff
-		}
-		hits[i] = hit{d: d, y: k.y[i]}
+		hits[i] = hit{d: nanSqDist(row, q), y: k.y[i]}
 	}
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].d != hits[b].d {
@@ -106,12 +101,7 @@ func (k *KNN) PredictProba(sample []float64) []float64 {
 	}
 	hits := make([]hit, len(k.x))
 	for i, row := range k.x {
-		var d float64
-		for j := range row {
-			diff := row[j] - q[j]
-			d += diff * diff
-		}
-		hits[i] = hit{d: d, y: k.y[i]}
+		hits[i] = hit{d: nanSqDist(row, q), y: k.y[i]}
 	}
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].d != hits[b].d {
@@ -134,8 +124,30 @@ func (k *KNN) PredictProba(sample []float64) []float64 {
 	return probs
 }
 
+// nanSqDist returns the squared Euclidean distance between row and q over
+// the dimensions where both values are defined, rescaled to the full
+// dimensionality so partially missing queries remain comparable to
+// complete ones. A query with no usable dimension is infinitely far.
+func nanSqDist(row, q []float64) float64 {
+	var d float64
+	used := 0
+	for j := range row {
+		if math.IsNaN(row[j]) || math.IsNaN(q[j]) {
+			continue
+		}
+		diff := row[j] - q[j]
+		d += diff * diff
+		used++
+	}
+	if used == 0 {
+		return math.Inf(1)
+	}
+	return d * float64(len(row)) / float64(used)
+}
+
 // Scaler standardizes features to zero mean and unit variance.
-// Zero-variance features transform to zero.
+// Zero-variance features transform to zero; missing (NaN) values stay
+// missing.
 type Scaler struct {
 	Mean []float64
 	Std  []float64
@@ -178,7 +190,10 @@ func (s *Scaler) Transform(row []float64) []float64 {
 	}
 	out := make([]float64, len(row))
 	for j, v := range row {
-		if s.Std[j] > 0 {
+		switch {
+		case math.IsNaN(v):
+			out[j] = math.NaN()
+		case s.Std[j] > 0:
 			out[j] = (v - s.Mean[j]) / s.Std[j]
 		}
 	}

@@ -21,8 +21,11 @@ type regNode struct {
 	Threshold float64
 	Left      int
 	Right     int
-	Leaf      bool
-	Value     float64
+	// DefaultLeft routes samples whose split feature is missing (NaN)
+	// toward the child that saw more training samples.
+	DefaultLeft bool
+	Leaf        bool
+	Value       float64
 }
 
 // NewRegTree returns an untrained regression tree. RandomThreshold in the
@@ -64,9 +67,16 @@ func (t *RegTree) Predict(sample []float64) float64 {
 		if n.Leaf {
 			return n.Value
 		}
-		if sample[n.Feature] <= n.Threshold {
+		switch v := sample[n.Feature]; {
+		case math.IsNaN(v):
+			if n.DefaultLeft {
+				i = n.Left
+			} else {
+				i = n.Right
+			}
+		case v <= n.Threshold:
 			i = n.Left
-		} else {
+		default:
 			i = n.Right
 		}
 	}
@@ -116,7 +126,7 @@ func (b *regBuilder) build(samples []int, depth int) int {
 		return leaf()
 	}
 	idx := len(b.t.nodes)
-	b.t.nodes = append(b.t.nodes, regNode{Feature: feat, Threshold: thr})
+	b.t.nodes = append(b.t.nodes, regNode{Feature: feat, Threshold: thr, DefaultLeft: len(left) >= len(right)})
 	l := b.build(left, depth+1)
 	r := b.build(right, depth+1)
 	b.t.nodes[idx].Left = l

@@ -46,7 +46,12 @@ type treeNode struct {
 	Threshold float64
 	Left      int
 	Right     int
-	Probs     []float64
+	// DefaultLeft routes samples whose split feature is missing (NaN) —
+	// the XGBoost-style default direction, set to the heavier child at
+	// training time so dropped-out telemetry degrades toward the
+	// majority path instead of producing garbage comparisons.
+	DefaultLeft bool
+	Probs       []float64
 }
 
 // NewTree returns an untrained CART with the given configuration.
@@ -136,9 +141,16 @@ func (t *Tree) PredictProba(sample []float64) []float64 {
 		if n.Probs != nil {
 			return n.Probs
 		}
-		if sample[n.Feature] <= n.Threshold {
+		switch v := sample[n.Feature]; {
+		case math.IsNaN(v):
+			if n.DefaultLeft {
+				i = n.Left
+			} else {
+				i = n.Right
+			}
+		case v <= n.Threshold:
 			i = n.Left
-		} else {
+		default:
 			i = n.Right
 		}
 	}
@@ -228,10 +240,14 @@ func (b *treeBuilder) build(samples []int, depth int) int {
 		return leaf()
 	}
 	b.t.imp[feat] += gain * total
+	var leftW float64
+	for _, s := range left {
+		leftW += b.w[s]
+	}
 
 	// Reserve this node's slot before recursing so children land after it.
 	idx := len(b.t.nodes)
-	b.t.nodes = append(b.t.nodes, treeNode{Feature: feat, Threshold: thr})
+	b.t.nodes = append(b.t.nodes, treeNode{Feature: feat, Threshold: thr, DefaultLeft: leftW >= total-leftW})
 	l := b.build(left, depth+1)
 	r := b.build(right, depth+1)
 	b.t.nodes[idx].Left = l

@@ -1,0 +1,114 @@
+package sched
+
+// BreakerState is a circuit-breaker phase.
+type BreakerState int
+
+const (
+	// BreakerClosed: the predictor is healthy; calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures tripped the breaker; the gate
+	// fails open to plain EASY backfilling until OpenDuration elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cool-down elapsed; the next decision probes
+	// the predictor once — success closes the breaker, failure re-opens.
+	BreakerHalfOpen
+)
+
+// String returns the state name for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is the predictor circuit breaker backing RUSH's degraded mode:
+// when the model path fails repeatedly (outage, stale telemetry, too
+// many missing features), the breaker opens and the gate stops asking —
+// failing open so scheduling degrades to the FCFS+EASY baseline instead
+// of stalling the queue. After OpenDuration it half-opens and lets a
+// single decision probe the model again.
+type Breaker struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// (default 3).
+	FailureThreshold int
+	// OpenDuration is how long the breaker stays open before probing
+	// again, in simulated seconds (default 300).
+	OpenDuration float64
+
+	// Trips counts closed->open transitions.
+	Trips int
+
+	state     BreakerState
+	failures  int
+	openedAt  float64
+	downSince float64
+	downTotal float64
+	isDown    bool
+}
+
+// NewBreaker returns a closed breaker with the default thresholds.
+func NewBreaker() *Breaker {
+	return &Breaker{FailureThreshold: 3, OpenDuration: 300}
+}
+
+// State returns the breaker phase at time now, advancing open ->
+// half-open when the cool-down has elapsed.
+func (b *Breaker) State(now float64) BreakerState {
+	if b.state == BreakerOpen && now-b.openedAt >= b.OpenDuration {
+		b.state = BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Ready reports whether the model path may be attempted at time now. In
+// the open state it returns false (the caller must fail open); in the
+// half-open state it returns true so one decision probes the model.
+func (b *Breaker) Ready(now float64) bool {
+	return b.State(now) != BreakerOpen
+}
+
+// Success records a healthy model decision, closing the breaker.
+func (b *Breaker) Success(now float64) {
+	b.failures = 0
+	b.state = BreakerClosed
+	if b.isDown {
+		b.downTotal += now - b.downSince
+		b.isDown = false
+	}
+}
+
+// Failure records a failed model decision. Consecutive failures reaching
+// FailureThreshold — or any failure while half-open — trip the breaker.
+func (b *Breaker) Failure(now float64) {
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.FailureThreshold {
+		if b.state != BreakerOpen {
+			b.Trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = now
+		if !b.isDown {
+			b.downSince = now
+			b.isDown = true
+		}
+		b.failures = 0
+	}
+}
+
+// DegradedTime returns the total simulated seconds the breaker has been
+// open (including a currently open interval up to now) — the time the
+// scheduler ran in degraded baseline mode.
+func (b *Breaker) DegradedTime(now float64) float64 {
+	t := b.downTotal
+	if b.isDown {
+		t += now - b.downSince
+	}
+	return t
+}

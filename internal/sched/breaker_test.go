@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := NewBreaker()
+	for i := 0; i < b.FailureThreshold-1; i++ {
+		b.Failure(float64(i))
+		if !b.Ready(float64(i)) {
+			t.Fatalf("breaker open after %d failures", i+1)
+		}
+	}
+	b.Failure(10)
+	if b.Ready(10) {
+		t.Fatal("breaker must open at the failure threshold")
+	}
+	if b.Trips != 1 {
+		t.Fatalf("trips = %d", b.Trips)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker()
+	b.Failure(0)
+	b.Failure(1)
+	b.Success(2)
+	b.Failure(3)
+	b.Failure(4)
+	if !b.Ready(5) {
+		t.Fatal("non-consecutive failures must not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbing(t *testing.T) {
+	b := NewBreaker()
+	for i := 0; i < b.FailureThreshold; i++ {
+		b.Failure(0)
+	}
+	if b.Ready(b.OpenDuration / 2) {
+		t.Fatal("breaker should stay open during the cool-down")
+	}
+	// Cool-down elapsed: half-open lets one probe through.
+	if !b.Ready(b.OpenDuration + 1) {
+		t.Fatal("breaker should half-open after the cool-down")
+	}
+	if b.State(b.OpenDuration+1) != BreakerHalfOpen {
+		t.Fatalf("state = %v", b.State(b.OpenDuration+1))
+	}
+	// A failed probe re-opens immediately (no threshold in half-open).
+	b.Failure(b.OpenDuration + 2)
+	if b.Ready(b.OpenDuration + 3) {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if b.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips)
+	}
+	// Next probe succeeds: breaker closes.
+	probeAt := 2*b.OpenDuration + 10
+	if !b.Ready(probeAt) {
+		t.Fatal("second cool-down should half-open again")
+	}
+	b.Success(probeAt)
+	if b.State(probeAt) != BreakerClosed {
+		t.Fatal("success must close the breaker")
+	}
+}
+
+func TestBreakerDegradedTimeAccounting(t *testing.T) {
+	b := NewBreaker()
+	for i := 0; i < b.FailureThreshold; i++ {
+		b.Failure(100)
+	}
+	// Open from t=100; still open at 250.
+	if got := b.DegradedTime(250); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("degraded time while open = %v, want 150", got)
+	}
+	// Probe succeeds at 450: the open interval [100, 450] is banked.
+	b.Success(450)
+	if got := b.DegradedTime(1000); math.Abs(got-350) > 1e-9 {
+		t.Fatalf("degraded time after close = %v, want 350", got)
+	}
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math"
+
 	"rush/internal/apps"
 	"rush/internal/cluster"
 	"rush/internal/dataset"
@@ -36,12 +38,34 @@ type RUSH struct {
 	// predictions.
 	ProbThreshold float64
 
+	// ModelDown, when set, reports whether the predictor service is
+	// currently unreachable (fault injection hooks in here). A down model
+	// is a breaker failure and the decision fails open.
+	ModelDown func() bool
+	// MaxStaleness is the oldest acceptable telemetry age in seconds; a
+	// staler counter store fails the decision open rather than predicting
+	// from frozen data (default 90, 1.5 sample periods). Zero disables
+	// the check.
+	MaxStaleness float64
+	// MaxMissing is the largest tolerable fraction of missing (NaN)
+	// counter features; above it the decision fails open (default 0.5).
+	// Zero disables the check.
+	MaxMissing float64
+	// Breaker trips after repeated model-path failures so a dead
+	// predictor stops being consulted at all; nil disables it. See
+	// Breaker for the fail-open semantics.
+	Breaker *Breaker
+
 	// Evaluations counts model invocations; Vetoes counts delays issued.
 	Evaluations int
 	Vetoes      int
 	// ThresholdOverrides counts jobs forced through after exhausting
 	// their skip threshold.
 	ThresholdOverrides int
+	// Degraded counts decisions that failed open (model down, telemetry
+	// stale or too sparse, or breaker open) — jobs that launched exactly
+	// as the FCFS+EASY baseline would have.
+	Degraded int
 }
 
 // NewRUSH returns the RUSH gate over machine m with the given trained
@@ -53,6 +77,9 @@ func NewRUSH(m *machine.Machine, model mlkit.Classifier) *RUSH {
 		VariationLabels: map[int]bool{
 			dataset.LabelVariation: true,
 		},
+		MaxStaleness: 90,
+		MaxMissing:   0.5,
+		Breaker:      NewBreaker(),
 	}
 }
 
@@ -61,19 +88,75 @@ func (g *RUSH) Name() string { return "RUSH" }
 
 // Allow implements Gate per Algorithm 2: the skip-threshold check
 // short-circuits the model; otherwise variation predictions push the job
-// back.
+// back. Every failure of the model path — predictor outage, stale or
+// mostly missing telemetry, open circuit breaker — fails OPEN: the job
+// launches exactly as under the FCFS+EASY baseline. A scheduler must
+// degrade to its baseline when its advisor dies, never stall the queue.
+// The outage and staleness checks run before LiveFeatures so a down
+// model consumes no probe randomness and a 100%-outage run is
+// bit-identical to the baseline.
 func (g *RUSH) Allow(j *Job, alloc cluster.Allocation) bool {
 	if j.Skips >= j.SkipLimit() {
 		g.ThresholdOverrides++
 		return true
 	}
+	now := g.m.Eng.Now()
+	if g.Breaker != nil && !g.Breaker.Ready(now) {
+		g.Degraded++
+		return true
+	}
+	if g.ModelDown != nil && g.ModelDown() {
+		return g.failOpen(now)
+	}
+	if g.MaxStaleness > 0 {
+		if age := g.m.Sampler.FreshnessAge(g.scopeNodes(alloc), now); age > g.MaxStaleness {
+			return g.failOpen(now)
+		}
+	}
 	feats := g.LiveFeatures(alloc, j.App.Class)
+	if g.MaxMissing > 0 && nanFraction(feats) > g.MaxMissing {
+		return g.failOpen(now)
+	}
 	g.Evaluations++
+	if g.Breaker != nil {
+		g.Breaker.Success(now)
+	}
 	if g.predictVariation(feats) {
 		g.Vetoes++
 		return false
 	}
 	return true
+}
+
+// failOpen records a model-path failure and lets the job start.
+func (g *RUSH) failOpen(now float64) bool {
+	if g.Breaker != nil {
+		g.Breaker.Failure(now)
+	}
+	g.Degraded++
+	return true
+}
+
+// DegradedTime returns the simulated seconds spent with the breaker
+// open, or 0 when the breaker is disabled.
+func (g *RUSH) DegradedTime() float64 {
+	if g.Breaker == nil {
+		return 0
+	}
+	return g.Breaker.DegradedTime(g.m.Eng.Now())
+}
+
+func nanFraction(feats []float64) float64 {
+	if len(feats) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range feats {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(feats))
 }
 
 // predictVariation applies either the hard label rule (Algorithm 2) or,
@@ -100,13 +183,17 @@ func (g *RUSH) predictVariation(feats []float64) bool {
 // the current machine state: the five-minute counter aggregation over the
 // decision scope plus freshly run MPI probes on the tentative allocation.
 func (g *RUSH) LiveFeatures(alloc cluster.Allocation, class apps.Class) []float64 {
-	nodes := alloc.Nodes
-	if g.AllNodesScope {
-		nodes = allMachineNodes(g.m.Topo.Nodes)
-	}
-	agg := g.m.Sampler.AggregateWindow(g.m.Net.History(), nodes, g.m.Eng.Now())
+	agg := g.m.Sampler.AggregateWindow(g.m.Net.History(), g.scopeNodes(alloc), g.m.Eng.Now())
 	probes := g.m.RunProbes(alloc)
 	return dataset.BuildFeatures(agg, probes, class)
+}
+
+// scopeNodes returns the node set the gate's telemetry decisions cover.
+func (g *RUSH) scopeNodes(alloc cluster.Allocation) []cluster.NodeID {
+	if g.AllNodesScope {
+		return allMachineNodes(g.m.Topo.Nodes)
+	}
+	return alloc.Nodes
 }
 
 func allMachineNodes(n int) []cluster.NodeID {

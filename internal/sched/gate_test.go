@@ -46,7 +46,11 @@ func trainedToyModel(t *testing.T, m *machine.Machine) mlkit.Classifier {
 
 func gateMachine() *machine.Machine {
 	eng := sim.New(77)
-	return machine.New(eng, cluster.Topology{Nodes: 64, PodSize: 64, CoresPerNode: 4})
+	m, err := machine.New(eng, cluster.Topology{Nodes: 64, PodSize: 64, CoresPerNode: 4})
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 func TestRUSHGateVetoesUnderCongestion(t *testing.T) {
@@ -220,5 +224,108 @@ func TestCanaryGateHonorsSkipThreshold(t *testing.T) {
 	}
 	if gate.ThresholdOverrides != 1 {
 		t.Fatal("override not counted")
+	}
+}
+
+// dropEverything is a telemetry fault model that loses every sample.
+type dropEverything struct{}
+
+func (dropEverything) Dropped(string, cluster.NodeID, int64) bool    { return true }
+func (dropEverything) SampleTick(_ cluster.NodeID, tick int64) int64 { return tick }
+
+func TestRUSHGateFailsOpenOnModelOutage(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	gate.ModelDown = func() bool { return true }
+	bg := m.NewBackground()
+	// Saturate the pod: a reachable model would veto here.
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+
+	alloc, _ := m.Alloc.Alloc(4)
+	for i := 0; i < 5; i++ {
+		if !gate.Allow(job(i, 4, 100), alloc) {
+			t.Fatal("a down model must fail open, never veto")
+		}
+	}
+	if gate.Evaluations != 0 {
+		t.Fatalf("down model must not be evaluated, evals=%d", gate.Evaluations)
+	}
+	if gate.Degraded != 5 {
+		t.Fatalf("degraded = %d, want 5", gate.Degraded)
+	}
+	if gate.Breaker.Trips != 1 {
+		t.Fatalf("trips = %d, want 1 (threshold %d)", gate.Breaker.Trips, gate.Breaker.FailureThreshold)
+	}
+	m.Eng.RunUntil(m.Eng.Now() + 50)
+	if gate.DegradedTime() <= 0 {
+		t.Fatal("degraded time must accumulate while the breaker is open")
+	}
+}
+
+func TestRUSHGateRecoversWhenModelReturns(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	down := true
+	gate.ModelDown = func() bool { return down }
+	alloc, _ := m.Alloc.Alloc(4)
+
+	// Trip the breaker while the model is down.
+	for i := 0; i < gate.Breaker.FailureThreshold; i++ {
+		gate.Allow(job(i, 4, 100), alloc)
+	}
+	if gate.Breaker.State(m.Eng.Now()) != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// Service restored; after the cool-down the half-open probe succeeds
+	// and normal model-gated scheduling resumes.
+	down = false
+	m.Eng.RunUntil(m.Eng.Now() + gate.Breaker.OpenDuration + 1)
+	gate.Allow(job(10, 4, 100), alloc)
+	if gate.Evaluations != 1 {
+		t.Fatalf("half-open probe should evaluate the model, evals=%d", gate.Evaluations)
+	}
+	if gate.Breaker.State(m.Eng.Now()) != BreakerClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestRUSHGateFailsOpenOnStaleTelemetry(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	// Every sample lost: freshness is +Inf, which exceeds any MaxStaleness.
+	m.Sampler.SetFaults(dropEverything{})
+
+	alloc, _ := m.Alloc.Alloc(4)
+	if !gate.Allow(job(0, 4, 100), alloc) {
+		t.Fatal("stale telemetry must fail open")
+	}
+	if gate.Evaluations != 0 || gate.Degraded != 1 {
+		t.Fatalf("evals=%d degraded=%d", gate.Evaluations, gate.Degraded)
+	}
+}
+
+func TestRUSHGateFailsOpenOnMissingFeatures(t *testing.T) {
+	m := gateMachine()
+	model := trainedToyModel(t, m)
+	gate := NewRUSH(m, model)
+	gate.MaxStaleness = 0 // isolate the missing-fraction check
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{PodNet: map[int]float64{0: 1.15}})
+	m.Eng.RunUntil(m.Eng.Now() + 400)
+	m.Sampler.SetFaults(dropEverything{})
+
+	alloc, _ := m.Alloc.Alloc(4)
+	if !gate.Allow(job(0, 4, 100), alloc) {
+		t.Fatal("an all-NaN feature vector must fail open")
+	}
+	if gate.Degraded != 1 {
+		t.Fatalf("degraded = %d", gate.Degraded)
 	}
 }

@@ -20,6 +20,10 @@ import (
 // be skipped (it was never reached in their experiments).
 const DefaultSkipThreshold = 10
 
+// DefaultRetryBudget bounds how many times a job killed by a node
+// failure is requeued before it is abandoned as Failed.
+const DefaultRetryBudget = 3
+
 // Job is one queued or completed job.
 type Job struct {
 	// ID is unique within a workload; FCFS ties break on it.
@@ -40,19 +44,46 @@ type Job struct {
 	// delayed (the per-job priority extension the paper suggests).
 	SkipThreshold int
 
+	// RetryBudget bounds requeues after node-failure kills: 0 means
+	// DefaultRetryBudget and a negative value means the job fails on its
+	// first kill.
+	RetryBudget int
+
 	// Skips counts RUSH delays applied to this job (Algorithm 2's
 	// SkipTable entry).
 	Skips int
+	// Retries counts node-failure kills after which the job was
+	// requeued.
+	Retries int
+	// LostWork is the wall-clock seconds of execution lost to kills
+	// (time from each killed stint's start to its kill).
+	LostWork float64
+	// Failed marks a job abandoned after exhausting its retry budget;
+	// it still appears in Completed (EndTime is the final kill instant)
+	// so workloads drain, but it never finished its work.
+	Failed bool
 	// StartTime and EndTime are filled in as the job executes; NaN until
-	// then.
+	// then. For a requeued job they describe the final stint only.
 	StartTime float64
 	EndTime   float64
+
+	queuedAt  float64 // when the job (re-)entered the queue
+	waitAccum float64 // queued seconds accumulated across all stints
 }
 
-// WaitTime returns time spent queued; valid once the job has started.
-func (j *Job) WaitTime() float64 { return j.StartTime - j.SubmitTime }
+// WaitTime returns total time spent queued, accumulated across every
+// requeue (a killed-and-requeued job reports all of its queued stints,
+// not just the last one); valid once the job has started.
+func (j *Job) WaitTime() float64 {
+	if math.IsNaN(j.StartTime) {
+		return math.NaN()
+	}
+	return j.waitAccum
+}
 
-// RunTime returns the realized run time; valid once the job has ended.
+// RunTime returns the realized run time of the final stint; valid once
+// the job has ended. Execution time lost in killed stints is in
+// LostWork.
 func (j *Job) RunTime() float64 { return j.EndTime - j.StartTime }
 
 // SkipLimit returns the job's effective skip threshold. A zero limit
@@ -65,6 +96,19 @@ func (j *Job) SkipLimit() int {
 		return j.SkipThreshold
 	default:
 		return DefaultSkipThreshold
+	}
+}
+
+// RetryLimit returns the job's effective retry budget. A zero limit
+// means the job fails on its first node-failure kill.
+func (j *Job) RetryLimit() int {
+	switch {
+	case j.RetryBudget < 0:
+		return 0
+	case j.RetryBudget > 0:
+		return j.RetryBudget
+	default:
+		return DefaultRetryBudget
 	}
 }
 
@@ -189,12 +233,21 @@ type Scheduler struct {
 	// of 10 "was never met"; a cooldown equal to the retry interval
 	// reproduces that behaviour. Zero disables the cooldown.
 	VetoCooldown float64
+	// RequeueBackoff is the base delay before a killed job re-enters the
+	// queue; retry i waits RequeueBackoff * 2^(i-1), capped at
+	// MaxRequeueBackoff. Backoff keeps a crashing node from thrashing
+	// the queue with instant resubmissions. Zero requeues immediately.
+	RequeueBackoff float64
+	// MaxRequeueBackoff caps the exponential requeue delay (default 15
+	// minutes).
+	MaxRequeueBackoff float64
 
 	vetoed     map[*Job]bool
 	lastVeto   map[*Job]float64
 	inPass     bool
 	passWant   bool
 	retryArmed bool
+	err        error
 }
 
 // New returns a scheduler over m using R1 for the main queue, R2 for
@@ -202,10 +255,12 @@ type Scheduler struct {
 func New(m *machine.Machine, r1, r2 Policy, gate Gate) *Scheduler {
 	return &Scheduler{
 		m: m, r1: r1, r2: r2, gt: gate,
-		RetryInterval: 30,
-		VetoCooldown:  30,
-		vetoed:        map[*Job]bool{},
-		lastVeto:      map[*Job]float64{},
+		RetryInterval:     30,
+		VetoCooldown:      30,
+		RequeueBackoff:    60,
+		MaxRequeueBackoff: 15 * 60,
+		vetoed:            map[*Job]bool{},
+		lastVeto:          map[*Job]float64{},
 	}
 }
 
@@ -224,11 +279,12 @@ func (s *Scheduler) Completed() []*Job { return s.completed }
 // GateName returns the active gate's name (for reports).
 func (s *Scheduler) GateName() string { return s.gt.Name() }
 
-// Submit enqueues j (stamping its submit time) and runs a scheduling
-// pass.
-func (s *Scheduler) Submit(j *Job) {
+// Submit validates and enqueues j (stamping its submit time), then runs
+// a scheduling pass. A job that cannot ever run on this machine is
+// rejected with an error rather than enqueued.
+func (s *Scheduler) Submit(j *Job) error {
 	if j.Nodes <= 0 || j.Nodes > s.m.Topo.Nodes {
-		panic(fmt.Sprintf("sched: job %d requests %d nodes on a %d-node machine", j.ID, j.Nodes, s.m.Topo.Nodes))
+		return fmt.Errorf("sched: job %d requests %d nodes on a %d-node machine", j.ID, j.Nodes, s.m.Topo.Nodes)
 	}
 	if j.Estimate <= 0 {
 		j.Estimate = j.BaseWork
@@ -236,19 +292,26 @@ func (s *Scheduler) Submit(j *Job) {
 	j.SubmitTime = s.m.Eng.Now()
 	j.StartTime = math.NaN()
 	j.EndTime = math.NaN()
+	j.queuedAt = j.SubmitTime
+	j.waitAccum = 0
 	s.queue = append(s.queue, j)
-	s.Pass()
+	return s.Pass()
 }
+
+// Err returns the first internal error the scheduler hit inside an event
+// callback (where no caller can receive it), or nil. Once set the
+// scheduler stops starting jobs; drivers should check it after draining.
+func (s *Scheduler) Err() error { return s.err }
 
 // Pass runs one scheduling cycle. Each queued job is considered at most
 // once per pass; a gate veto leaves the job queued with its priority
 // intact (the paper: the delayed job "remains at the top of the queue
 // and will be the first to be considered ... next time resources become
-// available").
-func (s *Scheduler) Pass() {
+// available"). The returned error is sticky — see Err.
+func (s *Scheduler) Pass() error {
 	if s.inPass {
 		s.passWant = true
-		return
+		return s.err
 	}
 	s.inPass = true
 	defer func() {
@@ -261,7 +324,7 @@ func (s *Scheduler) Pass() {
 
 	s.vetoed = map[*Job]bool{}
 restart:
-	for {
+	for s.err == nil {
 		sort.SliceStable(s.queue, func(i, j int) bool { return s.r1.Less(s.queue[i], s.queue[j]) })
 		var pivot *Job
 		for _, j := range s.queue {
@@ -323,6 +386,7 @@ restart:
 			s.Pass()
 		})
 	}
+	return s.err
 }
 
 // conservativeBackfill places every queued job on a node-availability
@@ -406,11 +470,17 @@ func (s *Scheduler) reservation(pivot *Job) (shadow float64, extra int) {
 }
 
 // tryStart allocates, consults the gate, and either launches the job or
-// applies the Algorithm 2 push-back.
+// applies the Algorithm 2 push-back. An allocation failure after a
+// positive CanAlloc means scheduler and allocator state have diverged;
+// it is recorded as a sticky error (Pass runs inside event callbacks, so
+// there is no caller to return it to mid-cycle) and stops the pass.
 func (s *Scheduler) tryStart(j *Job) bool {
 	alloc, err := s.m.Alloc.Alloc(j.Nodes)
 	if err != nil {
-		panic(fmt.Sprintf("sched: allocation failed after CanAlloc: %v", err))
+		if s.err == nil {
+			s.err = fmt.Errorf("sched: allocation failed after CanAlloc for job %d: %w", j.ID, err)
+		}
+		return false
 	}
 	if !s.gt.Allow(j, alloc) {
 		s.m.Alloc.Free(alloc)
@@ -420,11 +490,16 @@ func (s *Scheduler) tryStart(j *Job) bool {
 		return false
 	}
 	j.StartTime = s.m.Eng.Now()
+	j.waitAccum += j.StartTime - j.queuedAt
 	delete(s.lastVeto, j)
 	s.removeQueued(j)
 	s.running = append(s.running, j)
 	s.m.StartJob(j.App, alloc, j.BaseWork, func(rj *machine.RunningJob) {
-		s.finish(j)
+		if rj.Killed {
+			s.requeue(j)
+		} else {
+			s.finish(j)
+		}
 	})
 	return true
 }
@@ -441,15 +516,58 @@ func (s *Scheduler) removeQueued(j *Job) {
 
 func (s *Scheduler) finish(j *Job) {
 	j.EndTime = s.m.Eng.Now()
+	s.removeRunning(j)
+	s.completed = append(s.completed, j)
+	if s.OnComplete != nil {
+		s.OnComplete(j)
+	}
+	s.Pass()
+}
+
+// requeue handles a job killed mid-run by a node failure: the lost stint
+// is charged to LostWork and the job either re-enters the queue after an
+// exponential backoff or — once its retry budget is spent — completes as
+// Failed so the workload still drains.
+func (s *Scheduler) requeue(j *Job) {
+	now := s.m.Eng.Now()
+	j.LostWork += now - j.StartTime
+	j.Retries++
+	s.removeRunning(j)
+	if j.Retries > j.RetryLimit() {
+		j.Failed = true
+		j.EndTime = now
+		s.completed = append(s.completed, j)
+		if s.OnComplete != nil {
+			s.OnComplete(j)
+		}
+		s.Pass()
+		return
+	}
+	j.StartTime = math.NaN()
+	j.EndTime = math.NaN()
+	delay := s.RequeueBackoff
+	if delay > 0 {
+		for i := 1; i < j.Retries && delay < s.MaxRequeueBackoff; i++ {
+			delay *= 2
+		}
+		if s.MaxRequeueBackoff > 0 && delay > s.MaxRequeueBackoff {
+			delay = s.MaxRequeueBackoff
+		}
+	}
+	s.m.Eng.Schedule(delay, func() {
+		j.queuedAt = s.m.Eng.Now()
+		s.queue = append(s.queue, j)
+		s.Pass()
+	})
+	// The failed node's peers freed their allocation: try to fill them.
+	s.Pass()
+}
+
+func (s *Scheduler) removeRunning(j *Job) {
 	for i, r := range s.running {
 		if r == j {
 			s.running = append(s.running[:i], s.running[i+1:]...)
 			break
 		}
 	}
-	s.completed = append(s.completed, j)
-	if s.OnComplete != nil {
-		s.OnComplete(j)
-	}
-	s.Pass()
 }

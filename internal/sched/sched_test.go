@@ -12,7 +12,11 @@ import (
 
 func testMachine(nodes int) *machine.Machine {
 	eng := sim.New(1)
-	return machine.New(eng, cluster.Topology{Nodes: nodes, PodSize: nodes, CoresPerNode: 4})
+	m, err := machine.New(eng, cluster.Topology{Nodes: nodes, PodSize: nodes, CoresPerNode: 4})
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 func steadyApp() apps.Profile {
@@ -263,12 +267,18 @@ func TestSkipsDefaultThreshold(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	m := testMachine(8)
 	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversized job should panic")
-		}
-	}()
-	s.Submit(job(0, 9, 10))
+	if err := s.Submit(job(0, 9, 10)); err == nil {
+		t.Fatal("oversized job should be rejected")
+	}
+	if err := s.Submit(job(1, 0, 10)); err == nil {
+		t.Fatal("zero-node job should be rejected")
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("rejected jobs must not be enqueued, queue=%d", s.QueueLen())
+	}
+	if err := s.Submit(job(2, 8, 10)); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
 }
 
 func TestEstimateDefaultsToBaseWork(t *testing.T) {

@@ -43,10 +43,11 @@ type State struct {
 }
 
 // NewState returns a state for topo whose history is stamped with times
-// from now (typically sim.Engine.Now).
-func NewState(topo cluster.Topology, now func() float64) *State {
+// from now (typically sim.Engine.Now). It returns an error for an
+// invalid topology.
+func NewState(topo cluster.Topology, now func() float64) (*State, error) {
 	if err := topo.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	s := &State{
 		topo:   topo,
@@ -55,7 +56,7 @@ func NewState(topo cluster.Topology, now func() float64) *State {
 		hist:   &History{pods: topo.Pods()},
 	}
 	s.hist.append(now(), s.podNet, s.core, s.fs)
-	return s
+	return s, nil
 }
 
 // Topology returns the state's topology.

@@ -13,9 +13,17 @@ func podTopo() cluster.Topology {
 	return cluster.Topology{Nodes: 64, PodSize: 16, CoresPerNode: 4}
 }
 
+func mustState(topo cluster.Topology, now func() float64) *State {
+	s, err := NewState(topo, now)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestApplyRemoveRoundTrip(t *testing.T) {
 	now := 0.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	c := Contribution{PodNet: map[int]float64{0: 0.3, 2: 0.1}, FS: 0.2}
 	s.Apply(c)
 	if got := s.NetLoad(0); got != 0.3 {
@@ -34,7 +42,7 @@ func TestApplyRemoveRoundTrip(t *testing.T) {
 }
 
 func TestRemoveTooMuchPanics(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	defer func() {
 		if recover() == nil {
 			t.Fatal("removing unapplied load should panic")
@@ -60,7 +68,7 @@ func TestOverloadShape(t *testing.T) {
 }
 
 func TestVersionAndSubscribe(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	calls := 0
 	s.Subscribe(func() { calls++ })
 	v0 := s.Version()
@@ -76,7 +84,7 @@ func TestVersionAndSubscribe(t *testing.T) {
 
 func TestHistoryWindow(t *testing.T) {
 	now := 0.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	now = 10
 	s.Apply(Contribution{PodNet: map[int]float64{0: 0.5}})
 	now = 20
@@ -102,7 +110,7 @@ func TestHistoryWindow(t *testing.T) {
 
 func TestHistoryWindowBeforeFirstEpoch(t *testing.T) {
 	now := 100.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	slices := s.History().Window(0, 50)
 	if len(slices) != 1 || slices[0].T0 != 0 || slices[0].T1 != 50 {
 		t.Fatalf("pre-history window should clamp to first epoch: %+v", slices)
@@ -110,7 +118,7 @@ func TestHistoryWindowBeforeFirstEpoch(t *testing.T) {
 }
 
 func TestHistoryWindowEmptyAndInverted(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	if got := s.History().Window(10, 10); got != nil {
 		t.Fatalf("empty window should be nil, got %+v", got)
 	}
@@ -121,7 +129,7 @@ func TestHistoryWindowEmptyAndInverted(t *testing.T) {
 
 func TestHistorySameInstantCollapses(t *testing.T) {
 	now := 0.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	now = 5
 	s.Apply(Contribution{FS: 0.1})
 	s.Apply(Contribution{FS: 0.2})
@@ -137,7 +145,7 @@ func TestHistorySameInstantCollapses(t *testing.T) {
 
 func TestHistoryPrune(t *testing.T) {
 	now := 0.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	for i := 1; i <= 10; i++ {
 		now = float64(i * 10)
 		s.Apply(Contribution{FS: 0.01})
@@ -158,7 +166,7 @@ func TestHistoryPrune(t *testing.T) {
 func TestHistoryWindowCoverageProperty(t *testing.T) {
 	f := func(changes []uint8, a, b uint8) bool {
 		now := 0.0
-		s := NewState(podTopo(), func() float64 { return now })
+		s := mustState(podTopo(), func() float64 { return now })
 		for _, c := range changes {
 			now += float64(c%20 + 1)
 			s.Apply(Contribution{FS: 0.001})
@@ -185,7 +193,7 @@ func TestHistoryWindowCoverageProperty(t *testing.T) {
 
 func TestAllocNetOverload(t *testing.T) {
 	topo := podTopo()
-	s := NewState(topo, func() float64 { return 0 })
+	s := mustState(topo, func() float64 { return 0 })
 	s.Apply(Contribution{PodNet: map[int]float64{0: 1.0}}) // pod 0 at capacity
 	alloc := cluster.Allocation{Nodes: []cluster.NodeID{0, 1, 16, 17}}
 	// Two nodes in the congested pod (overload 1.0), two in an idle pod.
@@ -200,7 +208,7 @@ func TestAllocNetOverload(t *testing.T) {
 
 func TestProbesReflectCongestion(t *testing.T) {
 	topo := podTopo()
-	s := NewState(topo, func() float64 { return 0 })
+	s := mustState(topo, func() float64 { return 0 })
 	alloc := cluster.Allocation{Nodes: []cluster.NodeID{0, 1, 2, 3}}
 	calm := RunProbes(s, alloc, sim.NewSource(1).Derive("probe"))
 	s.Apply(Contribution{PodNet: map[int]float64{0: 1.1}})
@@ -219,7 +227,7 @@ func TestProbesReflectCongestion(t *testing.T) {
 }
 
 func TestProbeDeterminism(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	alloc := cluster.Allocation{Nodes: []cluster.NodeID{0, 5, 9}}
 	a := RunProbes(s, alloc, sim.NewSource(7).Derive("p"))
 	b := RunProbes(s, alloc, sim.NewSource(7).Derive("p"))
@@ -231,7 +239,7 @@ func TestProbeDeterminism(t *testing.T) {
 }
 
 func TestStateAccessors(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	if s.Topology().Nodes != 64 {
 		t.Fatal("topology accessor wrong")
 	}
@@ -249,7 +257,7 @@ func TestStateAccessors(t *testing.T) {
 }
 
 func TestMutatePanicsOnBadPodAndNegativeCore(t *testing.T) {
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -274,7 +282,7 @@ func TestProbeIdleDuration(t *testing.T) {
 		t.Fatalf("idle duration = %v", idle)
 	}
 	// A calm probe's mean per-node time should sit near the idle value.
-	s := NewState(podTopo(), func() float64 { return 0 })
+	s := mustState(podTopo(), func() float64 { return 0 })
 	alloc := cluster.Allocation{Nodes: []cluster.NodeID{0, 1, 2, 3}}
 	res := RunProbes(s, alloc, sim.NewSource(1).Derive("p"))
 	var sum float64
@@ -289,7 +297,7 @@ func TestProbeIdleDuration(t *testing.T) {
 
 func TestHistoryTimeRegressionPanics(t *testing.T) {
 	now := 10.0
-	s := NewState(podTopo(), func() float64 { return now })
+	s := mustState(podTopo(), func() float64 { return now })
 	now = 20
 	s.Apply(Contribution{FS: 0.1})
 	now = 5

@@ -25,11 +25,29 @@ const WindowSeconds = 300.0
 // aggregations are far below the cap and are never subsampled.
 const maxScopeNodes = 64
 
+// FaultModel lets a fault injector corrupt the counter stream the
+// sampler synthesizes, reproducing the gaps and stalls of a real LDMS
+// deployment. Implementations must be pure functions of their arguments
+// (and their own seed) so that overlapping windows agree on shared
+// samples and runs stay reproducible.
+type FaultModel interface {
+	// Dropped reports whether the sample of the given table on node at
+	// tick was lost in transit. A dropped table contributes NaN to every
+	// aggregate of its counters at that tick.
+	Dropped(table string, node cluster.NodeID, tick int64) bool
+	// SampleTick returns the tick whose value is actually reported at
+	// tick: normally tick itself, or an earlier tick while the node's
+	// counters are frozen (a stalled sampler keeps resending stale
+	// values). The result must never exceed tick.
+	SampleTick(node cluster.NodeID, tick int64) int64
+}
+
 // Sampler synthesizes counter samples from the simulator's load history.
 type Sampler struct {
 	topo   cluster.Topology
 	schema []Counter
 	rng    *sim.Source
+	faults FaultModel
 }
 
 // NewSampler returns a sampler over topo whose noise derives from rng
@@ -38,15 +56,35 @@ func NewSampler(topo cluster.Topology, rng *sim.Source) *Sampler {
 	return &Sampler{topo: topo, schema: Schema(), rng: rng}
 }
 
+// SetFaults installs a fault model (nil restores the healthy stream).
+func (s *Sampler) SetFaults(f FaultModel) { s.faults = f }
+
 // Schema returns the sampler's counter schema.
 func (s *Sampler) Schema() []Counter { return s.schema }
 
 // Aggregates holds min/mean/max per counter, aggregated over every
-// (node, sample tick) pair in a window, in schema order.
+// (node, sample tick) pair in a window, in schema order. Under an active
+// fault model a counter whose every sample was dropped aggregates to NaN
+// in all three slices; downstream feature consumers must tolerate that.
 type Aggregates struct {
 	Min  []float64
 	Mean []float64
 	Max  []float64
+}
+
+// MissingFraction returns the share of counters whose aggregates are NaN
+// (every sample in the window was dropped).
+func (a Aggregates) MissingFraction() float64 {
+	if len(a.Mean) == 0 {
+		return 0
+	}
+	missing := 0
+	for _, v := range a.Mean {
+		if math.IsNaN(v) {
+			missing++
+		}
+	}
+	return float64(missing) / float64(len(a.Mean))
 }
 
 // sampleValue computes one counter's value on one node at one tick given
@@ -107,7 +145,7 @@ func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t
 
 	ticks := alignedTicks(t0, t1)
 	slices := hist.Window(t0, t1)
-	count := 0
+	counts := make([]int, n)
 	for _, tick := range ticks {
 		t := float64(tick) * SamplePeriod
 		if t < t0 {
@@ -115,13 +153,35 @@ func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t
 		}
 		netByPod, fs := loadsAt(slices, t)
 		for _, node := range nodes {
+			// Frozen counters repeat an earlier tick's sample: the value
+			// reflects the loads at the freeze instant (clamped to the
+			// history the window fetched) and its noise stays constant.
+			effTick, effNet, effFS := tick, netByPod, fs
+			if s.faults != nil {
+				if et := s.faults.SampleTick(node, tick); et < tick {
+					effTick = et
+					effNet, effFS = loadsAt(slices, float64(et)*SamplePeriod)
+				}
+			}
 			pod := s.topo.PodOf(node)
 			var net float64
-			if pod < len(netByPod) {
-				net = netByPod[pod]
+			if pod < len(effNet) {
+				net = effNet[pod]
 			}
+			lastTable, lastDropped := "", false
 			for ci := range s.schema {
-				v := s.sampleValue(&s.schema[ci], ci, node, tick, net, fs)
+				if s.faults != nil {
+					// Whole tables drop together (one lost LDMS message
+					// per table); memoize across the contiguous block.
+					if tb := s.schema[ci].Table; tb != lastTable {
+						lastTable = tb
+						lastDropped = s.faults.Dropped(tb, node, tick)
+					}
+					if lastDropped {
+						continue
+					}
+				}
+				v := s.sampleValue(&s.schema[ci], ci, node, effTick, net, effFS)
 				if v < agg.Min[ci] {
 					agg.Min[ci] = v
 				}
@@ -129,14 +189,68 @@ func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t
 					agg.Max[ci] = v
 				}
 				agg.Mean[ci] += v
+				counts[ci]++
 			}
-			count++
 		}
 	}
 	for i := range agg.Mean {
-		agg.Mean[i] /= float64(count)
+		if counts[i] == 0 {
+			// Every sample of this counter was dropped: the feature is
+			// missing, not zero.
+			agg.Min[i], agg.Mean[i], agg.Max[i] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		agg.Mean[i] /= float64(counts[i])
 	}
 	return agg
+}
+
+// FreshnessAge reports how stale the counter stream feeding a decision at
+// time t1 is: the age, in seconds before t1, of the newest sample that
+// actually arrived for the given nodes within the standard aggregation
+// window — where a frozen sample counts with the age of the instant its
+// value reflects. With no fault model installed the age is at most one
+// sample period. +Inf means no sample in the window arrived at all.
+func (s *Sampler) FreshnessAge(nodes []cluster.NodeID, t1 float64) float64 {
+	nodes = capNodes(nodes)
+	if len(nodes) == 0 {
+		return math.Inf(1)
+	}
+	ticks := alignedTicks(t1-WindowSeconds, t1)
+	if s.faults == nil {
+		return t1 - float64(ticks[len(ticks)-1])*SamplePeriod
+	}
+	tables := s.tables()
+	newest := math.Inf(-1)
+	for _, tick := range ticks {
+		for _, node := range nodes {
+			eff := s.faults.SampleTick(node, tick)
+			for _, tb := range tables {
+				if s.faults.Dropped(tb, node, tick) {
+					continue
+				}
+				if tm := float64(eff) * SamplePeriod; tm > newest {
+					newest = tm
+				}
+				break // all tables share the node's freeze state
+			}
+		}
+	}
+	if math.IsInf(newest, -1) {
+		return math.Inf(1)
+	}
+	return t1 - newest
+}
+
+// tables returns the distinct table names in schema order.
+func (s *Sampler) tables() []string {
+	var out []string
+	for i := range s.schema {
+		if len(out) == 0 || out[len(out)-1] != s.schema[i].Table {
+			out = append(out, s.schema[i].Table)
+		}
+	}
+	return out
 }
 
 // alignedTicks returns the global tick indices whose sample times fall in

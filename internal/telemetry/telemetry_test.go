@@ -69,7 +69,10 @@ func TestSchemaHasCongestionAndNoiseCounters(t *testing.T) {
 
 func newEnv() (*simnet.State, *Sampler, *float64) {
 	now := new(float64)
-	st := simnet.NewState(testTopo(), func() float64 { return *now })
+	st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+	if err != nil {
+		panic(err)
+	}
 	sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
 	return st, sampler, now
 }

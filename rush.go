@@ -32,6 +32,7 @@ import (
 	"rush/internal/core"
 	"rush/internal/dataset"
 	"rush/internal/experiments"
+	"rush/internal/faults"
 	"rush/internal/mlkit"
 	"rush/internal/stats"
 	"rush/internal/workload"
@@ -224,6 +225,27 @@ func RunExperiment(spec ExperimentSpec, pred *Predictor, trials int, baseSeed in
 	return experiments.RunExperiment(spec, pred, trials, baseSeed, cfg)
 }
 
+// Fault injection (robustness evaluation).
+type (
+	// FaultConfig sets seeded fault-injection rates: node failures,
+	// telemetry dropouts, predictor outages. The zero value injects
+	// nothing and leaves runs bit-identical to clean ones.
+	FaultConfig = faults.Config
+	// FaultScenario names one fault configuration of a robustness sweep.
+	FaultScenario = experiments.FaultScenario
+	// FaultRow is one scenario's paired baseline/RUSH comparison.
+	FaultRow = experiments.FaultRow
+)
+
+// DefaultFaultScenarios returns the standard robustness sweep.
+func DefaultFaultScenarios() []FaultScenario { return experiments.DefaultFaultScenarios() }
+
+// FaultMatrix runs a workload under each fault scenario and returns one
+// paired comparison per row.
+func FaultMatrix(spec ExperimentSpec, pred *Predictor, scenarios []FaultScenario, trials int, baseSeed int64, cfg ExperimentConfig) ([]FaultRow, error) {
+	return experiments.FaultMatrix(spec, pred, scenarios, trials, baseSeed, cfg)
+}
+
 // Evaluation metrics (Section VI-C).
 var (
 	// BaselineStats derives per-app reference statistics from baseline trials.
@@ -258,4 +280,5 @@ var (
 	ReportMaxImprovement = experiments.ReportMaxImprovement
 	ReportMakespan       = experiments.ReportMakespan
 	ReportWaitTimes      = experiments.ReportWaitTimes
+	ReportFaults         = experiments.ReportFaults
 )
