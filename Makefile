@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt ci
+.PHONY: build test race race-hot bench-smoke vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-hot focuses the race detector on the worker-pool fan-out paths
+# (the pool itself plus the trial/scenario fan-out that exercises it
+# hardest), so a data race there fails fast even when the full race
+# target is skipped locally.
+race-hot:
+	$(GO) test -race ./internal/parallel/... ./internal/experiments/...
+
+# bench-smoke proves the parallel speedup path runs end to end: one
+# iteration of the speedup benchmark at every worker count.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkParallelSpeedup -benchtime 1x .
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +33,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the full gate: formatting, static analysis, and the test suite
-# under the race detector.
-ci: fmt vet race
+# ci is the full gate: formatting, static analysis, the test suite
+# under the race detector (race subsumes race-hot; both run so the hot
+# paths report first), and the parallel-speedup smoke.
+ci: fmt vet race-hot race bench-smoke

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"rush/internal/core"
 	"rush/internal/experiments"
@@ -40,14 +41,19 @@ func crossValidateGBM(x [][]float64, y []int, folds [][]int) (mlkit.CVResult, er
 	}, x, y, folds, 1)
 }
 
-// Shared artifacts, built once per `go test -bench` process.
+// Shared artifacts, built once per `go test -bench` process. Model
+// training (benchModelsOnce) is split from the experiment comparisons
+// (benchOnce) so benchmarks that only need a predictor — e.g.
+// BenchmarkParallelSpeedup, which the CI smoke target runs alone —
+// skip the five-experiment sweep.
 var (
-	benchOnce     sync.Once
-	benchCampaign *core.CollectResult
-	benchPred     *core.Predictor
-	benchPDPAPred *core.Predictor
-	benchCmps     map[string]*experiments.Comparison
-	printedOnce   sync.Map
+	benchModelsOnce sync.Once
+	benchOnce       sync.Once
+	benchCampaign   *core.CollectResult
+	benchPred       *core.Predictor
+	benchPDPAPred   *core.Predictor
+	benchCmps       map[string]*experiments.Comparison
+	printedOnce     sync.Map
 )
 
 const (
@@ -56,9 +62,9 @@ const (
 	benchTrials = 5
 )
 
-func benchSetup(b *testing.B) {
+func benchModels(b *testing.B) {
 	b.Helper()
-	benchOnce.Do(func() {
+	benchModelsOnce.Do(func() {
 		var err error
 		benchCampaign, err = core.Collect(core.CollectConfig{Days: benchDays, Seed: benchSeed, Incident: true})
 		if err != nil {
@@ -73,6 +79,13 @@ func benchSetup(b *testing.B) {
 		if err != nil {
 			panic(err)
 		}
+	})
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchModels(b)
+	benchOnce.Do(func() {
 		benchCmps = map[string]*experiments.Comparison{}
 		for _, spec := range workload.TableII() {
 			p := benchPred
@@ -406,6 +419,44 @@ func BenchmarkAblationProbThreshold(b *testing.B) {
 		if _, err := experiments.RunTrial(spec, experiments.RUSH, benchPred, int64(i), experiments.Config{ProbThreshold: 0.5}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures the worker-pool fan-out on the
+// 5-trial ADAA experiment (10 independent trials per iteration) at 1,
+// 2, 4, and 8 workers. Every worker count produces byte-identical
+// comparisons — pinned by TestRunExperimentParallelDeterminism — so the
+// sub-benchmarks differ only in wall clock. The first run prints the
+// measured speedup table that EXPERIMENTS.md quotes.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	benchModels(b)
+	spec, _ := workload.SpecByName("ADAA")
+	run := func(workers int) {
+		if _, err := experiments.RunExperiment(spec, benchPred, benchTrials, 42000,
+			experiments.Config{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, loaded := printedOnce.LoadOrStore("parallel-speedup", true); !loaded {
+		var serial time.Duration
+		fmt.Printf("\n===== Parallel speedup: 5-trial ADAA experiment =====\n")
+		for _, w := range []int{1, 2, 4, 8} {
+			start := time.Now()
+			run(w)
+			el := time.Since(start)
+			if w == 1 {
+				serial = el
+			}
+			fmt.Printf("  workers=%d  %8.2fs  speedup %.2fx\n",
+				w, el.Seconds(), serial.Seconds()/el.Seconds())
+		}
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(w)
+			}
+		})
 	}
 }
 

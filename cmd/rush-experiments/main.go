@@ -19,6 +19,7 @@ import (
 
 	"rush/internal/core"
 	"rush/internal/experiments"
+	"rush/internal/parallel"
 	"rush/internal/workload"
 )
 
@@ -30,11 +31,13 @@ func main() {
 	trials := flag.Int("trials", experiments.DefaultTrials, "trials per policy per experiment")
 	seed := flag.Int64("seed", 42, "master seed")
 	quick := flag.Bool("quick", false, "shrink campaign and trials for a fast smoke run")
+	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = serial); any value produces identical output")
 	flag.Parse()
 	if *quick {
 		*days = 30
 		*trials = 2
 	}
+	log.Printf("running with %d workers", parallel.Workers(*workers))
 
 	start := time.Now()
 	fmt.Print(experiments.ReportTableI())
@@ -88,7 +91,7 @@ func main() {
 			p = pdpaPred
 		}
 		log.Printf("running %s (%d paired trials)...", spec.Name, *trials)
-		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000, experiments.Config{})
+		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000, experiments.Config{Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}

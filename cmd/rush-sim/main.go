@@ -17,6 +17,7 @@ import (
 	"rush/internal/core"
 	"rush/internal/experiments"
 	"rush/internal/faults"
+	"rush/internal/parallel"
 	"rush/internal/sched"
 	"rush/internal/workload"
 )
@@ -40,13 +41,17 @@ func main() {
 	telemetryLoss := flag.Float64("telemetry-loss", 0, "probability a telemetry table sample is dropped, in [0,1]")
 	telemetryFreeze := flag.Float64("telemetry-freeze", 0, "probability a node's counters freeze per window, in [0,1]")
 	modelOutage := flag.Float64("model-outage", 0, "fraction of time the predictor service is unreachable, in [0,1]")
+	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = serial); any value produces identical output")
 	flag.Parse()
 
 	spec, err := workload.SpecByName(*expName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := experiments.Config{DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf}
+	if *trials <= 0 {
+		log.Fatalf("trials must be positive, got %d", *trials)
+	}
+	cfg := experiments.Config{DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf, Workers: *workers}
 	cfg.Faults = faults.Config{
 		NodeMTBF:      *nodeMTBF,
 		NodeMTTR:      *nodeMTTR,
@@ -109,11 +114,15 @@ func main() {
 		if *policy == "rush" {
 			pol = experiments.RUSH
 		}
-		for i := 0; i < *trials; i++ {
-			tr, err := experiments.RunTrial(spec, pol, pred, *seed+int64(i), cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
+		// Trials fan out across the pool; results slot by trial index, so
+		// traces and report lines stay in trial order at any worker count.
+		trs, err := parallel.Map(nil, *workers, *trials, func(i int) (*experiments.Trial, error) {
+			return experiments.RunTrial(spec, pol, pred, *seed+int64(i), cfg)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, tr := range trs {
 			if *tracePrefix != "" {
 				writeTrace(*tracePrefix, tr, i)
 			}

@@ -16,6 +16,7 @@ import (
 	"rush/internal/core"
 	"rush/internal/faults"
 	"rush/internal/machine"
+	"rush/internal/parallel"
 	"rush/internal/sched"
 	"rush/internal/sim"
 	"rush/internal/workload"
@@ -67,6 +68,12 @@ type Config struct {
 	// outages into the trial (robustness evaluation). The zero value
 	// injects nothing and leaves clean runs bit-identical.
 	Faults faults.Config
+	// Workers bounds how many trials (and fault scenarios) execute
+	// concurrently: 0 uses GOMAXPROCS, 1 forces the serial path. Each
+	// trial is seeded independently and results merge in trial order, so
+	// every worker count produces byte-identical output (pinned by
+	// TestRunExperimentParallelDeterminism).
+	Workers int
 }
 
 func (c *Config) fill() {
@@ -302,42 +309,70 @@ type FaultRow struct {
 // RUSH with seeds baseSeed+i, and returns one row per scenario. It is
 // the robustness counterpart of RunExperiment: the same workload and
 // seeds across rows, so differences between rows are the faults' doing.
+// Scenarios execute concurrently under cfg.Workers; rows come back in
+// scenario order regardless of which finishes first.
 func FaultMatrix(spec workload.Spec, pred *core.Predictor, scenarios []FaultScenario, trials int, baseSeed int64, cfg Config) ([]FaultRow, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: %s fault matrix: trials must be positive, got %d", spec.Name, trials)
+	}
 	if len(scenarios) == 0 {
 		scenarios = DefaultFaultScenarios()
 	}
-	rows := make([]FaultRow, 0, len(scenarios))
-	for _, sc := range scenarios {
+	rows, err := parallel.Map(nil, cfg.Workers, len(scenarios), func(s int) (FaultRow, error) {
 		scCfg := cfg
-		scCfg.Faults = sc.Faults
+		scCfg.Faults = scenarios[s].Faults
+		// The inner experiment keeps cfg.Workers: the nested pools bound
+		// goroutines, not threads, so a matrix with fewer scenarios than
+		// cores still fills the machine with its scenarios' trials.
 		cmp, err := RunExperiment(spec, pred, trials, baseSeed, scCfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fault scenario %q: %w", sc.Name, err)
+			return FaultRow{}, fmt.Errorf("experiments: fault scenario %q: %w", scenarios[s].Name, err)
 		}
-		rows = append(rows, FaultRow{Scenario: sc, Cmp: cmp})
+		return FaultRow{Scenario: scenarios[s], Cmp: cmp}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 // RunExperiment runs spec trials times under each policy with paired
-// seeds (baseSeed+i) and returns the comparison.
+// seeds (baseSeed+i) and returns the comparison. Trials execute
+// concurrently under cfg.Workers; because every trial derives all of
+// its randomness from its own seed and results slot into trial order,
+// the comparison is byte-identical at any worker count. trials must be
+// positive (pass DefaultTrials for the paper's count).
 func RunExperiment(spec workload.Spec, pred *core.Predictor, trials int, baseSeed int64, cfg Config) (*Comparison, error) {
 	if trials <= 0 {
-		trials = DefaultTrials
+		return nil, fmt.Errorf("experiments: %s: trials must be positive, got %d", spec.Name, trials)
 	}
-	cmp := &Comparison{Experiment: spec.Name, Spec: spec}
-	for i := 0; i < trials; i++ {
-		seed := baseSeed + int64(i)
-		b, err := RunTrial(spec, Baseline, pred, seed, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s baseline trial %d: %w", spec.Name, i, err)
+	cmp := &Comparison{
+		Experiment: spec.Name, Spec: spec,
+		Baseline: make([]*Trial, trials),
+		RUSH:     make([]*Trial, trials),
+	}
+	// Task 2i is baseline trial i, task 2i+1 its paired RUSH trial, so
+	// the lowest-index error the pool reports is the same one the old
+	// serial baseline-then-RUSH loop would have hit first.
+	err := parallel.Run(nil, cfg.Workers, 2*trials, func(k int) error {
+		i, seed := k/2, baseSeed+int64(k/2)
+		if k%2 == 0 {
+			b, err := RunTrial(spec, Baseline, pred, seed, cfg)
+			if err != nil {
+				return fmt.Errorf("experiments: %s baseline trial %d: %w", spec.Name, i, err)
+			}
+			cmp.Baseline[i] = b
+			return nil
 		}
 		r, err := RunTrial(spec, RUSH, pred, seed, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s RUSH trial %d: %w", spec.Name, i, err)
+			return fmt.Errorf("experiments: %s RUSH trial %d: %w", spec.Name, i, err)
 		}
-		cmp.Baseline = append(cmp.Baseline, b)
-		cmp.RUSH = append(cmp.RUSH, r)
+		cmp.RUSH[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cmp, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"rush/internal/parallel"
 	"rush/internal/sim"
 )
 
@@ -24,6 +25,14 @@ type AdaBoostConfig struct {
 	MaxFeatures int
 	// Seed drives feature subsampling of depth >= 2 weak learners.
 	Seed int64
+	// Workers bounds the concurrency of the order-independent pieces of
+	// a round — the one-off per-feature presort and each round's
+	// per-feature stump scan (boosting rounds themselves are inherently
+	// sequential): 0 uses GOMAXPROCS, 1 is serial. The per-feature
+	// results reduce in feature order, so every worker count fits the
+	// identical model. A runtime knob, not model state — excluded from
+	// serialization.
+	Workers int `json:"-"`
 }
 
 func (c *AdaBoostConfig) fill() {
@@ -114,17 +123,21 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 	}
 
 	// Presort sample indices per feature once; every stump round reuses
-	// them. Tree weak learners sort per node instead.
+	// them. Tree weak learners sort per node instead. Each feature's
+	// sort is independent, so they fan out across the pool.
 	var sorted [][]int
 	if a.cfg.Depth == 1 {
 		sorted = make([][]int, nf)
-		for f := 0; f < nf; f++ {
+		if err := parallel.Run(nil, a.cfg.Workers, nf, func(f int) error {
 			idx := make([]int, len(x))
 			for i := range idx {
 				idx[i] = i
 			}
 			sort.Slice(idx, func(p, q int) bool { return x[idx[p]][f] < x[idx[q]][f] })
 			sorted[f] = idx
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 
@@ -148,7 +161,7 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 		var tree *Tree
 		var errRate float64
 		if a.cfg.Depth == 1 {
-			st, errRate = bestStump(x, yi, w, k, sorted)
+			st, errRate = bestStump(x, yi, w, k, sorted, a.cfg.Workers)
 			if st.Feature < 0 {
 				break
 			}
@@ -234,9 +247,13 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 }
 
 // bestStump finds the weighted-error-minimizing stump across all
-// features using the presorted index lists. It returns Feature == -1 when
-// no feature has two distinct values.
-func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int) (stump, float64) {
+// features using the presorted index lists. Features scan concurrently
+// (bounded by workers) and their candidates reduce in feature order
+// with a strict less-than, so the winner — and therefore the fitted
+// model — is the one a serial ascending scan would pick, at any worker
+// count. It returns Feature == -1 when no feature has two distinct
+// values.
+func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int, workers int) (stump, float64) {
 	var totalCounts []float64
 	totalCounts = make([]float64, k)
 	var totalW float64
@@ -245,15 +262,16 @@ func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int) (stu
 		totalW += wi
 	}
 
-	best := stump{Feature: -1}
-	bestErr := math.Inf(1)
-	leftCounts := make([]float64, k)
-
-	for f := range sorted {
+	// Per-feature candidates, slotted by feature index.
+	type candidate struct {
+		st  stump
+		err float64
+	}
+	cands := make([]candidate, len(sorted))
+	err := parallel.Run(nil, workers, len(sorted), func(f int) error {
 		idx := sorted[f]
-		for i := range leftCounts {
-			leftCounts[i] = 0
-		}
+		fBest := candidate{st: stump{Feature: -1}, err: math.Inf(1)}
+		leftCounts := make([]float64, k)
 		var leftW float64
 		for p := 0; p < len(idx)-1; p++ {
 			s := idx[p]
@@ -277,14 +295,30 @@ func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int) (stu
 				}
 			}
 			e := totalW - blw - brw
-			if e < bestErr {
-				bestErr = e
-				best = stump{
+			if e < fBest.err {
+				fBest.err = e
+				fBest.st = stump{
 					Feature: f, Threshold: v + (next-v)/2,
 					LeftClass: bl, RightClass: br,
 					DefaultLeft: leftW >= totalW-leftW,
 				}
 			}
+		}
+		cands[f] = fBest
+		return nil
+	})
+	if err != nil {
+		// The scan tasks never return errors, so this can only be a
+		// captured panic; re-raise it as the serial scan would have.
+		panic(err)
+	}
+
+	best := stump{Feature: -1}
+	bestErr := math.Inf(1)
+	for _, c := range cands {
+		if c.st.Feature >= 0 && c.err < bestErr {
+			bestErr = c.err
+			best = c.st
 		}
 	}
 	if best.Feature < 0 {

@@ -3,6 +3,7 @@ package mlkit
 import (
 	"fmt"
 
+	"rush/internal/parallel"
 	"rush/internal/sim"
 )
 
@@ -19,6 +20,12 @@ type ForestConfig struct {
 	MaxFeatures int
 	// Seed drives bootstrapping and per-tree randomness.
 	Seed int64
+	// Workers bounds concurrent tree fitting: 0 uses GOMAXPROCS, 1 is
+	// serial. Bootstrap samples and per-tree seeds are drawn serially
+	// before the fan-out, so every worker count fits the identical
+	// model. A runtime knob, not model state — excluded from
+	// serialization.
+	Workers int `json:"-"`
 }
 
 func (c *ForestConfig) fill() {
@@ -72,7 +79,16 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 	f.imp = make([]float64, nf)
 	rng := sim.NewSource(f.cfg.Seed).Derive("forest")
 
-	for t := 0; t < f.cfg.Trees; t++ {
+	// Draw every tree's randomness serially first — bootstrap resample,
+	// then seed, in tree order, exactly the draw sequence of a serial
+	// fit — so the parallel fan-out below cannot perturb the stream.
+	type treeJob struct {
+		x    [][]float64
+		y    []int
+		seed int64
+	}
+	jobs := make([]treeJob, f.cfg.Trees)
+	for t := range jobs {
 		tx, ty := x, y
 		if f.bootstrap {
 			tx = make([][]float64, len(x))
@@ -83,17 +99,29 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 				ty[i] = y[j]
 			}
 		}
+		jobs[t] = treeJob{x: tx, y: ty, seed: rng.Int63()}
+	}
+
+	if err := parallel.Run(nil, f.cfg.Workers, f.cfg.Trees, func(t int) error {
 		tree := NewTree(TreeConfig{
 			MaxDepth:        f.cfg.MaxDepth,
 			MinLeaf:         f.cfg.MinLeaf,
 			MaxFeatures:     f.cfg.MaxFeatures,
 			RandomThreshold: f.randomThr,
-			Seed:            rng.Int63(),
+			Seed:            jobs[t].seed,
 		})
-		if err := tree.Fit(tx, ty); err != nil {
+		if err := tree.Fit(jobs[t].x, jobs[t].y); err != nil {
 			return fmt.Errorf("mlkit: tree %d: %w", t, err)
 		}
 		f.trees[t] = tree
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Importances accumulate after the join, in tree order: float
+	// addition is not associative, so summing in completion order would
+	// let the worker count leak into the model.
+	for _, tree := range f.trees {
 		for i, v := range tree.Importances() {
 			f.imp[i] += v
 		}

@@ -4,13 +4,27 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"rush/internal/parallel"
 )
 
 // KNNConfig controls the K-Nearest-Neighbors classifier.
 type KNNConfig struct {
 	// K is the neighborhood size (default 5).
 	K int
+	// Workers bounds the concurrency of per-query distance evaluation:
+	// 0 uses GOMAXPROCS, 1 is serial. Distances are pure functions
+	// slotted by training-row index, so every worker count predicts
+	// identically. Small training sets (under parallelDistanceMin rows)
+	// always evaluate serially; a goroutine fan-out would cost more than
+	// the arithmetic it spreads. A runtime knob, not model state —
+	// excluded from serialization.
+	Workers int `json:"-"`
 }
+
+// parallelDistanceMin is the training-set size below which KNN distance
+// evaluation stays serial.
+const parallelDistanceMin = 512
 
 // KNN is a K-Nearest-Neighbors classifier with per-feature
 // standardization (counters live on wildly different scales, so raw
@@ -47,20 +61,43 @@ func (k *KNN) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// Predict implements Classifier with a plurality vote over the K nearest
-// training samples; ties break toward the smaller class label.
-func (k *KNN) Predict(sample []float64) int {
+// hit pairs one training row's distance to the query with its label.
+type hit struct {
+	d float64
+	y int
+}
+
+// nearest computes every training row's distance to sample — fanning the
+// evaluation across the pool in contiguous row chunks when the training
+// set is large enough to amortize it — and returns the hits sorted by
+// (distance, label). Distances slot by row index, so the sorted order
+// (and every prediction built from it) is identical at any worker count.
+func (k *KNN) nearest(sample []float64) ([]hit, int) {
 	if len(k.x) == 0 {
 		panic("mlkit: predict before fit")
 	}
 	q := k.scaler.Transform(sample)
-	type hit struct {
-		d float64
-		y int
-	}
 	hits := make([]hit, len(k.x))
-	for i, row := range k.x {
-		hits[i] = hit{d: nanSqDist(row, q), y: k.y[i]}
+	workers := parallel.Workers(k.cfg.Workers)
+	if len(k.x) < parallelDistanceMin || workers == 1 {
+		for i, row := range k.x {
+			hits[i] = hit{d: nanSqDist(row, q), y: k.y[i]}
+		}
+	} else {
+		chunk := (len(k.x) + workers - 1) / workers
+		if err := parallel.Run(nil, workers, workers, func(c int) error {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > len(k.x) {
+				hi = len(k.x)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i] = hit{d: nanSqDist(k.x[i], q), y: k.y[i]}
+			}
+			return nil
+		}); err != nil {
+			panic(err) // tasks never error; only a captured panic lands here
+		}
 	}
 	sort.Slice(hits, func(a, b int) bool {
 		if hits[a].d != hits[b].d {
@@ -72,6 +109,13 @@ func (k *KNN) Predict(sample []float64) int {
 	if kk > len(hits) {
 		kk = len(hits)
 	}
+	return hits, kk
+}
+
+// Predict implements Classifier with a plurality vote over the K nearest
+// training samples; ties break toward the smaller class label.
+func (k *KNN) Predict(sample []float64) int {
+	hits, kk := k.nearest(sample)
 	votes := map[int]int{}
 	for _, h := range hits[:kk] {
 		votes[h.y]++
@@ -91,28 +135,7 @@ func (k *KNN) Classes() []int { return k.classes }
 // PredictProba returns the neighborhood vote fractions per class, in
 // Classes order.
 func (k *KNN) PredictProba(sample []float64) []float64 {
-	if len(k.x) == 0 {
-		panic("mlkit: predict before fit")
-	}
-	q := k.scaler.Transform(sample)
-	type hit struct {
-		d float64
-		y int
-	}
-	hits := make([]hit, len(k.x))
-	for i, row := range k.x {
-		hits[i] = hit{d: nanSqDist(row, q), y: k.y[i]}
-	}
-	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].d != hits[b].d {
-			return hits[a].d < hits[b].d
-		}
-		return hits[a].y < hits[b].y
-	})
-	kk := k.cfg.K
-	if kk > len(hits) {
-		kk = len(hits)
-	}
+	hits, kk := k.nearest(sample)
 	probs := make([]float64, len(k.classes))
 	pos := map[int]int{}
 	for i, c := range k.classes {

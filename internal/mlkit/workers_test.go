@@ -1,0 +1,118 @@
+package mlkit
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rush/internal/sim"
+)
+
+// workersDataset synthesizes a classification problem large enough to
+// exercise the parallel paths (including KNN's chunked distance
+// evaluation, which needs >= parallelDistanceMin rows), with a few NaNs
+// so the missing-value code runs too.
+func workersDataset(n, nf int, seed int64) ([][]float64, []int) {
+	rng := sim.NewSource(seed).Derive("workers-test")
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, nf)
+		var s float64
+		for j := range row {
+			row[j] = rng.Normal(0, 1)
+			s += row[j]
+		}
+		if rng.Bool(0.02) {
+			row[rng.Intn(nf)] = math.NaN()
+		}
+		x[i] = row
+		switch {
+		case s > 1:
+			y[i] = 2
+		case s > -1:
+			y[i] = 1
+		default:
+			y[i] = 0
+		}
+	}
+	return x, y
+}
+
+// fitSerialized fits the classifier and returns its serialized bytes.
+func fitSerialized(t *testing.T, m Classifier, x [][]float64, y []int) []byte {
+	t.Helper()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := SaveModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestForestWorkersBitIdentical pins seed-splitting for the bagged
+// ensembles: Random Forest and Extra Trees models fitted at workers=1
+// and workers=8 serialize to the same bytes.
+func TestForestWorkersBitIdentical(t *testing.T) {
+	x, y := workersDataset(400, 12, 1)
+	build := []struct {
+		name string
+		mk   func(workers int) Classifier
+	}{
+		{"RandomForest", func(w int) Classifier {
+			return NewRandomForest(ForestConfig{Trees: 24, MaxDepth: 6, Seed: 5, Workers: w})
+		}},
+		{"ExtraTrees", func(w int) Classifier {
+			return NewExtraTrees(ForestConfig{Trees: 24, MaxDepth: 6, Seed: 5, Workers: w})
+		}},
+	}
+	for _, b := range build {
+		serial := fitSerialized(t, b.mk(1), x, y)
+		par := fitSerialized(t, b.mk(8), x, y)
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("%s: workers=1 and workers=8 fit different models", b.name)
+		}
+	}
+}
+
+// TestAdaBoostWorkersBitIdentical pins the ordered reduce of the
+// per-feature stump scan.
+func TestAdaBoostWorkersBitIdentical(t *testing.T) {
+	x, y := workersDataset(500, 20, 2)
+	serial := fitSerialized(t, NewAdaBoost(AdaBoostConfig{Rounds: 40, Workers: 1}), x, y)
+	par := fitSerialized(t, NewAdaBoost(AdaBoostConfig{Rounds: 40, Workers: 8}), x, y)
+	if !bytes.Equal(serial, par) {
+		t.Fatal("AdaBoost: workers=1 and workers=8 fit different models")
+	}
+}
+
+// TestKNNWorkersIdenticalPredictions pins the chunked distance
+// evaluation: a training set past the parallel threshold must predict
+// and score identically at every worker count.
+func TestKNNWorkersIdenticalPredictions(t *testing.T) {
+	n := parallelDistanceMin + 200
+	x, y := workersDataset(n, 10, 3)
+	queries, _ := workersDataset(64, 10, 4)
+
+	serial := NewKNN(KNNConfig{K: 7, Workers: 1})
+	par := NewKNN(KNNConfig{K: 7, Workers: 8})
+	if err := serial.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		if a, b := serial.Predict(q), par.Predict(q); a != b {
+			t.Fatalf("query %d: serial predicts %d, parallel %d", qi, a, b)
+		}
+		pa, pb := serial.PredictProba(q), par.PredictProba(q)
+		for c := range pa {
+			if pa[c] != pb[c] {
+				t.Fatalf("query %d class %d: proba %v vs %v", qi, c, pa[c], pb[c])
+			}
+		}
+	}
+}

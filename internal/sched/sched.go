@@ -4,6 +4,28 @@
 // which the Start function consults an ML variability predictor and
 // pushes a job back — bounded by a per-job skip threshold — whenever
 // variation is predicted for the current system state.
+//
+// # Fail-open semantics
+//
+// The RUSH gate is an optimization, never a dependency: any failure on
+// the decision path degrades the scheduler to plain FCFS+EASY rather
+// than stalling the queue. Concretely, a decision falls back to
+// "start the job" — and is counted as degraded, not as a veto — when
+// the predictor call errors or the model service is down (ModelDown),
+// when the telemetry needed for the feature vector is older than
+// MaxStaleness or more than MaxMissing of it is absent, or when the
+// circuit breaker is open.
+//
+// The Breaker wraps the predictor call with the classic three-state
+// circuit: Closed passes calls through and counts consecutive
+// failures; reaching the failure threshold trips it Open, where every
+// decision skips the model entirely (cheap, deterministic fail-open)
+// until OpenDuration of simulated time elapses; the first decision
+// after that runs HalfOpen as a single probe — success closes the
+// breaker, failure re-opens it for another cool-down. Trip and
+// degraded-decision counts surface on the trial metrics so faulted
+// experiments can assert the gate failed open rather than silently
+// misbehaving.
 package sched
 
 import (

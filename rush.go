@@ -14,6 +14,10 @@
 //     deployed three-class predictor (Section IV-A, Figure 3).
 //   - RunExperiment and RunTrial execute the Table II scheduling
 //     experiments under FCFS+EASY and RUSH (Sections IV-B, VI, VII).
+//     Trials fan out across a bounded worker pool — set
+//     ExperimentConfig.Workers (0 = GOMAXPROCS, 1 = serial); every
+//     worker count produces byte-identical results (see
+//     ARCHITECTURE.md for the determinism contract).
 //   - The Report* functions render every figure and table of the paper's
 //     evaluation from those results.
 //
@@ -34,6 +38,7 @@ import (
 	"rush/internal/experiments"
 	"rush/internal/faults"
 	"rush/internal/mlkit"
+	"rush/internal/parallel"
 	"rush/internal/stats"
 	"rush/internal/workload"
 )
@@ -220,10 +225,22 @@ func RunTrial(spec ExperimentSpec, policy Policy, pred *Predictor, seed int64, c
 	return experiments.RunTrial(spec, policy, pred, seed, cfg)
 }
 
-// RunExperiment runs paired baseline/RUSH trials.
+// RunExperiment runs paired baseline/RUSH trials. Trials execute
+// concurrently under cfg.Workers (0 = GOMAXPROCS, 1 = serial) and merge
+// in trial order, so the comparison is byte-identical at any worker
+// count. trials must be positive; pass DefaultTrials for the paper's
+// count.
 func RunExperiment(spec ExperimentSpec, pred *Predictor, trials int, baseSeed int64, cfg ExperimentConfig) (*Comparison, error) {
 	return experiments.RunExperiment(spec, pred, trials, baseSeed, cfg)
 }
+
+// DefaultTrials is the paper's per-policy repetition count.
+const DefaultTrials = experiments.DefaultTrials
+
+// Workers resolves a requested worker count the way every Workers
+// config field and -workers flag does: n when positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int { return parallel.Workers(n) }
 
 // Fault injection (robustness evaluation).
 type (
