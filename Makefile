@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke vet fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,15 @@ race-hot:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkParallelSpeedup -benchtime 1x .
 
+# bench-obs guards the zero-overhead-when-disabled observability
+# contract: a scheduling pass with no observer attached must perform
+# zero heap allocations. The grep fails the target on any non-zero
+# allocs/op in the benchmark output.
+bench-obs:
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkPassNoObserver -benchmem ./internal/sched/); \
+	echo "$$out"; \
+	echo "$$out" | grep -q ' 0 allocs/op' || { echo "bench-obs: Pass allocates with a nil observer"; exit 1; }
+
 vet:
 	$(GO) vet ./...
 
@@ -35,5 +44,6 @@ fmt:
 
 # ci is the full gate: formatting, static analysis, the test suite
 # under the race detector (race subsumes race-hot; both run so the hot
-# paths report first), and the parallel-speedup smoke.
-ci: fmt vet race-hot race bench-smoke
+# paths report first), the zero-alloc observability guard, and the
+# parallel-speedup smoke.
+ci: fmt vet race-hot race bench-obs bench-smoke

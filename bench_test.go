@@ -114,7 +114,7 @@ func printOnce(key, artifact string) {
 // variability table from the shared 60-day campaign.
 func BenchmarkFigure1Longitudinal(b *testing.B) {
 	benchSetup(b)
-	printOnce("Figure 1: longitudinal variability", ReportFigure1(benchCampaign.JobScope))
+	printOnce("Figure 1: longitudinal variability", ReportFigure1String(benchCampaign.JobScope))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Collect(core.CollectConfig{Days: 7, Seed: int64(i)}); err != nil {
@@ -128,7 +128,7 @@ func BenchmarkFigure1Longitudinal(b *testing.B) {
 // and prints the dataset inventory.
 func BenchmarkTable1DatasetAssembly(b *testing.B) {
 	benchSetup(b)
-	printOnce("Table I: dataset inventory", ReportTableI())
+	printOnce("Table I: dataset inventory", ReportTableIString())
 	spec, _ := workload.SpecByName("ADAA")
 	// One RUSH trial performs one feature assembly per gate evaluation;
 	// time trials and report per-evaluation cost via custom metric.
@@ -157,7 +157,7 @@ func BenchmarkFigure3ModelF1(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		fmt.Printf("\n===== Figure 3: model F1 comparison =====\n%s", ReportFigure3(append(jobScores, allScores...)))
+		fmt.Printf("\n===== Figure 3: model F1 comparison =====\n%s", ReportFigure3String(append(jobScores, allScores...)))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -170,7 +170,7 @@ func BenchmarkFigure3ModelF1(b *testing.B) {
 // BenchmarkTable2Workloads measures workload generation and prints the
 // experiment definitions.
 func BenchmarkTable2Workloads(b *testing.B) {
-	printOnce("Table II: experiments", ReportTableII())
+	printOnce("Table II: experiments", ReportTableIIString())
 	specs := workload.TableII()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -203,7 +203,7 @@ func benchTrialExperiment(b *testing.B, name string, print func(cmp *experiments
 // BenchmarkFigure5VariationADAA regenerates the ADAA variation counts.
 func BenchmarkFigure5VariationADAA(b *testing.B) {
 	benchTrialExperiment(b, "ADAA", func(cmp *experiments.Comparison) string {
-		return ReportVariation(cmp, BaselineStats(cmp.Baseline))
+		return ReportVariationString(cmp, BaselineStats(cmp.Baseline))
 	})
 }
 
@@ -213,8 +213,8 @@ func BenchmarkFigure4VariationADPAPDPA(b *testing.B) {
 	benchSetup(b)
 	adpa, pdpa := benchCmps["ADPA"], benchCmps["PDPA"]
 	printOnce("Figure 4: ADPA vs PDPA variation",
-		ReportVariation(adpa, BaselineStats(adpa.Baseline))+
-			ReportVariation(pdpa, BaselineStats(pdpa.Baseline)))
+		ReportVariationString(adpa, BaselineStats(adpa.Baseline))+
+			ReportVariationString(pdpa, BaselineStats(pdpa.Baseline)))
 	spec, _ := workload.SpecByName("PDPA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -227,25 +227,25 @@ func BenchmarkFigure4VariationADPAPDPA(b *testing.B) {
 // BenchmarkFigure6RuntimeDistADAA regenerates the ADAA run-time
 // distributions.
 func BenchmarkFigure6RuntimeDistADAA(b *testing.B) {
-	benchTrialExperiment(b, "ADAA", ReportRunTimeDist)
+	benchTrialExperiment(b, "ADAA", ReportRunTimeDistString)
 }
 
 // BenchmarkFigure7RuntimeDistPDPA regenerates the PDPA run-time
 // distributions.
 func BenchmarkFigure7RuntimeDistPDPA(b *testing.B) {
-	benchTrialExperiment(b, "PDPA", ReportRunTimeDist)
+	benchTrialExperiment(b, "PDPA", ReportRunTimeDistString)
 }
 
 // BenchmarkFigure8WeakScaling regenerates the weak-scaling run-time
 // ranges.
 func BenchmarkFigure8WeakScaling(b *testing.B) {
-	benchTrialExperiment(b, "WS", ReportScalingDist)
+	benchTrialExperiment(b, "WS", ReportScalingDistString)
 }
 
 // BenchmarkFigure9StrongScaling regenerates the strong-scaling percent
 // improvements.
 func BenchmarkFigure9StrongScaling(b *testing.B) {
-	benchTrialExperiment(b, "SS", ReportMaxImprovement)
+	benchTrialExperiment(b, "SS", ReportMaxImprovementString)
 }
 
 // BenchmarkFigure10Makespan regenerates the per-experiment makespans.
@@ -255,7 +255,7 @@ func BenchmarkFigure10Makespan(b *testing.B) {
 	for _, spec := range workload.TableII() {
 		all = append(all, benchCmps[spec.Name])
 	}
-	printOnce("Figure 10: makespans", ReportMakespan(all))
+	printOnce("Figure 10: makespans", ReportMakespanString(all))
 	spec, _ := workload.SpecByName("ADAA")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -267,7 +267,7 @@ func BenchmarkFigure10Makespan(b *testing.B) {
 
 // BenchmarkFigure11WaitTimes regenerates the ADAA per-app wait times.
 func BenchmarkFigure11WaitTimes(b *testing.B) {
-	benchTrialExperiment(b, "ADAA", ReportWaitTimes)
+	benchTrialExperiment(b, "ADAA", ReportWaitTimesString)
 }
 
 // BenchmarkAblationDelayOnLittle measures RUSH when the gate also delays
@@ -284,7 +284,7 @@ func BenchmarkAblationDelayOnLittle(b *testing.B) {
 		}
 		ref := BaselineStats(cmp.Baseline)
 		fmt.Printf("\n===== Ablation: delay on little variation =====\n%s%s",
-			ReportVariation(cmp, ref), ReportMakespan([]*experiments.Comparison{cmp}))
+			ReportVariationString(cmp, ref), ReportMakespanString([]*experiments.Comparison{cmp}))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -306,7 +306,7 @@ func BenchmarkAblationAllNodesScope(b *testing.B) {
 			b.Fatal(err)
 		}
 		fmt.Printf("\n===== Ablation: all-nodes decision scope =====\n%s",
-			ReportVariation(cmp, BaselineStats(cmp.Baseline)))
+			ReportVariationString(cmp, BaselineStats(cmp.Baseline)))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -330,7 +330,7 @@ func BenchmarkAblationSJF(b *testing.B) {
 		}
 		ref := BaselineStats(cmp.Baseline)
 		fmt.Printf("\n===== Ablation: SJF + RUSH =====\n%s%s",
-			ReportVariation(cmp, ref), ReportMakespan([]*experiments.Comparison{cmp}))
+			ReportVariationString(cmp, ref), ReportMakespanString([]*experiments.Comparison{cmp}))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"rush/internal/cliflags"
 	"rush/internal/core"
 	"rush/internal/dataset"
 )
@@ -25,7 +26,7 @@ func main() {
 	log.SetPrefix("rush-collect: ")
 
 	days := flag.Int("days", 120, "campaign length in simulated days")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := cliflags.Seed(42)
 	incident := flag.Bool("incident", true, "include a two-week high-contention incident mid-campaign")
 	nodes := flag.Int("nodes", 16, "nodes per control-job run")
 	out := flag.String("out", "jobscope.csv", "output CSV for job-node-scoped features")

@@ -9,14 +9,17 @@
 //
 //	rush-experiments                 # full evaluation (~2-4 minutes)
 //	rush-experiments -quick          # reduced campaign and trial count
+//	rush-experiments -quick -metrics # append the per-policy metrics report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"rush/internal/cliflags"
 	"rush/internal/core"
 	"rush/internal/experiments"
 	"rush/internal/parallel"
@@ -28,10 +31,12 @@ func main() {
 	log.SetPrefix("rush-experiments: ")
 
 	days := flag.Int("days", 120, "collection campaign length in days")
-	trials := flag.Int("trials", experiments.DefaultTrials, "trials per policy per experiment")
-	seed := flag.Int64("seed", 42, "master seed")
+	trials := cliflags.Trials(experiments.DefaultTrials)
+	seed := cliflags.Seed(42)
 	quick := flag.Bool("quick", false, "shrink campaign and trials for a fast smoke run")
-	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = serial); any value produces identical output")
+	metrics := cliflags.Metrics()
+	pprofPath := cliflags.Pprof()
+	workers := cliflags.Workers()
 	flag.Parse()
 	if *quick {
 		*days = 30
@@ -39,8 +44,15 @@ func main() {
 	}
 	log.Printf("running with %d workers", parallel.Workers(*workers))
 
+	stopProfile, err := cliflags.StartCPUProfile(*pprofPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
+
+	out := os.Stdout
 	start := time.Now()
-	fmt.Print(experiments.ReportTableI())
+	check(experiments.ReportTableI(out))
 	fmt.Println()
 
 	// Stage 1: longitudinal collection (Section III, Figure 1).
@@ -50,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("collected %d samples", res.JobScope.Len())
-	fmt.Print(experiments.ReportFigure1(res.JobScope))
+	check(experiments.ReportFigure1(out, res.JobScope))
 	fmt.Println()
 
 	// Stage 2: model selection on both scopes (Section IV-A, Figure 3).
@@ -64,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(experiments.ReportFigure3(append(jobScores, allScores...)))
+	check(experiments.ReportFigure3(out, append(jobScores, allScores...)))
 	best, _ := core.SelectBest(jobScores)
 	fmt.Printf("selected model: %s (F1=%.3f)\n\n", best.Model, best.F1)
 
@@ -80,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Print(experiments.ReportTableII())
+	check(experiments.ReportTableII(out))
 	fmt.Println()
 
 	// Stage 4: the five scheduling experiments (Section VII).
@@ -91,7 +103,8 @@ func main() {
 			p = pdpaPred
 		}
 		log.Printf("running %s (%d paired trials)...", spec.Name, *trials)
-		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000, experiments.Config{Workers: *workers})
+		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000,
+			experiments.Config{Workers: *workers, Metrics: *metrics})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,30 +117,43 @@ func main() {
 
 	// Figures 5 and 4: variation counts.
 	adaa := byName["ADAA"]
-	fmt.Print(experiments.ReportVariation(adaa, experiments.BaselineStats(adaa.Baseline)))
+	check(experiments.ReportVariation(out, adaa, experiments.BaselineStats(adaa.Baseline)))
 	fmt.Println()
 	for _, name := range []string{"ADPA", "PDPA"} {
 		cmp := byName[name]
-		fmt.Print(experiments.ReportVariation(cmp, experiments.BaselineStats(cmp.Baseline)))
+		check(experiments.ReportVariation(out, cmp, experiments.BaselineStats(cmp.Baseline)))
 		fmt.Println()
 	}
 
 	// Figures 6 and 7: run-time distributions.
-	fmt.Print(experiments.ReportRunTimeDist(adaa))
+	check(experiments.ReportRunTimeDist(out, adaa))
 	fmt.Println()
-	fmt.Print(experiments.ReportRunTimeDist(byName["PDPA"]))
+	check(experiments.ReportRunTimeDist(out, byName["PDPA"]))
 	fmt.Println()
 
 	// Figures 8 and 9: scaling.
-	fmt.Print(experiments.ReportScalingDist(byName["WS"]))
+	check(experiments.ReportScalingDist(out, byName["WS"]))
 	fmt.Println()
-	fmt.Print(experiments.ReportMaxImprovement(byName["SS"]))
+	check(experiments.ReportMaxImprovement(out, byName["SS"]))
 	fmt.Println()
 
 	// Figures 10 and 11: makespan and wait times.
-	fmt.Print(experiments.ReportMakespan(all))
+	check(experiments.ReportMakespan(out, all))
 	fmt.Println()
-	fmt.Print(experiments.ReportWaitTimes(adaa))
+	check(experiments.ReportWaitTimes(out, adaa))
+
+	if *metrics {
+		for _, cmp := range all {
+			fmt.Println()
+			check(experiments.ReportMetrics(out, cmp))
+		}
+	}
 
 	log.Printf("full evaluation finished in %v", time.Since(start).Round(time.Second))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }

@@ -6,6 +6,7 @@
 //
 //	rush-sim -experiment ADAA -predictor predictor.json -trials 5 -seed 100
 //	rush-sim -experiment SS -policy baseline -trials 5
+//	rush-sim -experiment ADAA -trace events.jsonl -metrics
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"rush/internal/cliflags"
 	"rush/internal/core"
 	"rush/internal/experiments"
 	"rush/internal/faults"
@@ -29,20 +31,29 @@ func main() {
 	expName := flag.String("experiment", "ADAA", "experiment: ADAA, ADPA, PDPA, WS, or SS")
 	policy := flag.String("policy", "both", "policy: baseline, rush, or both")
 	predPath := flag.String("predictor", "predictor.json", "trained predictor JSON (from rush-train)")
-	trials := flag.Int("trials", experiments.DefaultTrials, "trials per policy")
-	seed := flag.Int64("seed", 100, "base seed (trial i uses seed+i)")
+	trials := cliflags.Trials(experiments.DefaultTrials)
+	seed := cliflags.Seed(100)
 	delayLittle := flag.Bool("delay-on-little", false, "also delay on the little-variation class")
 	allNodes := flag.Bool("all-nodes-scope", false, "aggregate counters machine-wide at decision time")
 	sjf := flag.Bool("sjf", false, "use shortest-job-first queue ordering instead of FCFS")
 	backfill := flag.String("backfill", "easy", "backfill discipline: easy, none, or conservative")
-	tracePrefix := flag.String("trace", "", "write per-job traces to <prefix>-<policy>-<trial>.csv")
+	tracePath := cliflags.Trace()
+	metrics := cliflags.Metrics()
+	pprofPath := cliflags.Pprof()
+	csvPrefix := flag.String("csv", "", "write per-job records to <prefix>-<policy>-<trial>.csv")
 	nodeMTBF := flag.Float64("node-mtbf", 0, "per-node mean time between failures in seconds (0 disables node faults)")
 	nodeMTTR := flag.Float64("node-mttr", 0, "per-node mean time to repair in seconds (default 1800 when -node-mtbf is set)")
 	telemetryLoss := flag.Float64("telemetry-loss", 0, "probability a telemetry table sample is dropped, in [0,1]")
 	telemetryFreeze := flag.Float64("telemetry-freeze", 0, "probability a node's counters freeze per window, in [0,1]")
 	modelOutage := flag.Float64("model-outage", 0, "fraction of time the predictor service is unreachable, in [0,1]")
-	workers := flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = serial); any value produces identical output")
+	workers := cliflags.Workers()
 	flag.Parse()
+
+	stopProfile, err := cliflags.StartCPUProfile(*pprofPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfile()
 
 	spec, err := workload.SpecByName(*expName)
 	if err != nil {
@@ -51,7 +62,10 @@ func main() {
 	if *trials <= 0 {
 		log.Fatalf("trials must be positive, got %d", *trials)
 	}
-	cfg := experiments.Config{DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf, Workers: *workers}
+	cfg := experiments.Config{
+		DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf,
+		Workers: *workers, Trace: *tracePath != "", Metrics: *metrics,
+	}
 	cfg.Faults = faults.Config{
 		NodeMTBF:      *nodeMTBF,
 		NodeMTTR:      *nodeMTTR,
@@ -91,23 +105,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *tracePrefix != "" {
+		if *csvPrefix != "" {
 			for i := range cmp.Baseline {
-				writeTrace(*tracePrefix, cmp.Baseline[i], i)
-				writeTrace(*tracePrefix, cmp.RUSH[i], i)
+				writeCSV(*csvPrefix, cmp.Baseline[i], i)
+				writeCSV(*csvPrefix, cmp.RUSH[i], i)
 			}
 		}
-		ref := experiments.BaselineStats(cmp.Baseline)
-		fmt.Print(experiments.ReportVariation(cmp, ref))
-		fmt.Print(experiments.ReportRunTimeDist(cmp))
-		if len(spec.NodeCounts) > 1 {
-			fmt.Print(experiments.ReportScalingDist(cmp))
-			fmt.Print(experiments.ReportMaxImprovement(cmp))
+		if *tracePath != "" {
+			// Paired order: baseline trial i, then its RUSH twin. Trials
+			// buffer their events privately, so this concatenation is
+			// byte-identical at any -workers value.
+			var trs []*experiments.Trial
+			for i := range cmp.Baseline {
+				trs = append(trs, cmp.Baseline[i], cmp.RUSH[i])
+			}
+			writeJSONLTrace(*tracePath, trs)
 		}
-		fmt.Print(experiments.ReportMakespan([]*experiments.Comparison{cmp}))
-		fmt.Print(experiments.ReportWaitTimes(cmp))
+		ref := experiments.BaselineStats(cmp.Baseline)
+		out := os.Stdout
+		check(experiments.ReportVariation(out, cmp, ref))
+		check(experiments.ReportRunTimeDist(out, cmp))
+		if len(spec.NodeCounts) > 1 {
+			check(experiments.ReportScalingDist(out, cmp))
+			check(experiments.ReportMaxImprovement(out, cmp))
+		}
+		check(experiments.ReportMakespan(out, []*experiments.Comparison{cmp}))
+		check(experiments.ReportWaitTimes(out, cmp))
 		if cfg.Faults.Enabled() {
-			fmt.Print(experiments.ReportFaults(cmp))
+			check(experiments.ReportFaults(out, cmp))
+		}
+		if *metrics {
+			check(experiments.ReportMetrics(out, cmp))
 		}
 	case "baseline", "rush":
 		pol := experiments.Baseline
@@ -122,9 +150,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *tracePath != "" {
+			writeJSONLTrace(*tracePath, trs)
+		}
 		for i, tr := range trs {
-			if *tracePrefix != "" {
-				writeTrace(*tracePrefix, tr, i)
+			if *csvPrefix != "" {
+				writeCSV(*csvPrefix, tr, i)
 			}
 			fmt.Printf("trial %d: policy=%s jobs=%d makespan=%.0fs evals=%d vetoes=%d\n",
 				i, tr.Policy, len(tr.Jobs), tr.Makespan, tr.GateEvaluations, tr.GateVetoes)
@@ -133,13 +164,45 @@ func main() {
 					tr.NodeFailures, tr.JobKills, tr.FailedJobs, tr.LostWork, tr.GateDegraded, tr.BreakerTrips, tr.DegradedTime)
 			}
 		}
+		if *metrics {
+			// A one-sided comparison reuses the merged-metrics renderer.
+			cmp := &experiments.Comparison{Experiment: spec.Name, Spec: spec}
+			if pol == experiments.Baseline {
+				cmp.Baseline = trs
+			} else {
+				cmp.RUSH = trs
+			}
+			check(experiments.ReportMetrics(os.Stdout, cmp))
+		}
 	default:
 		log.Fatalf("unknown policy %q (want baseline, rush, or both)", *policy)
 	}
 }
 
-// writeTrace dumps one trial's per-job records as CSV.
-func writeTrace(prefix string, tr *experiments.Trial, trial int) {
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeJSONLTrace concatenates the trials' buffered event streams into
+// one JSONL file, in the order given.
+func writeJSONLTrace(path string, trs []*experiments.Trial) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	for _, tr := range trs {
+		if _, err := f.Write(tr.Trace); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("wrote event trace %s", path)
+}
+
+// writeCSV dumps one trial's per-job records as CSV.
+func writeCSV(prefix string, tr *experiments.Trial, trial int) {
 	path := fmt.Sprintf("%s-%s-%d.csv", prefix, tr.Policy, trial)
 	f, err := os.Create(path)
 	if err != nil {
@@ -149,5 +212,5 @@ func writeTrace(prefix string, tr *experiments.Trial, trial int) {
 	if err := tr.WriteTrace(f); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote trace %s", path)
+	log.Printf("wrote per-job CSV %s", path)
 }

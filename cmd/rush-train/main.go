@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"rush/internal/cliflags"
 	"rush/internal/core"
 	"rush/internal/dataset"
 	"rush/internal/experiments"
@@ -34,7 +35,7 @@ func main() {
 	trainApps := flag.String("train-apps", "", "comma-separated apps to train on (empty = all; PDPA uses 4)")
 	rfe := flag.Bool("rfe", false, "run recursive feature elimination and report the trajectory")
 	temporal := flag.Bool("temporal", false, "run sliding train-on-past/test-on-future validation")
-	seed := flag.Int64("seed", 1, "training seed")
+	seed := cliflags.Seed(1)
 	out := flag.String("out", "predictor.json", "output predictor JSON")
 	flag.Parse()
 
@@ -54,7 +55,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.ReportFigure3(scores))
+		if err := experiments.ReportFigure3(os.Stdout, scores); err != nil {
+			log.Fatal(err)
+		}
 		best, _ := core.SelectBest(scores)
 		fmt.Printf("best model: %s (F1=%.3f)\n", best.Model, best.F1)
 	}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"rush"
@@ -32,7 +33,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(rush.ReportFigure3(append(jobScores, allScores...)))
+	if err := rush.ReportFigure3(os.Stdout, append(jobScores, allScores...)); err != nil {
+		log.Fatal(err)
+	}
 
 	best, err := rush.SelectBest(jobScores)
 	if err != nil {

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"rush"
 )
@@ -43,6 +44,10 @@ func main() {
 
 	// 4. Compare.
 	ref := rush.BaselineStats(cmp.Baseline)
-	fmt.Print(rush.ReportVariation(cmp, ref))
-	fmt.Print(rush.ReportMakespan([]*rush.Comparison{cmp}))
+	if err := rush.ReportVariation(os.Stdout, cmp, ref); err != nil {
+		log.Fatal(err)
+	}
+	if err := rush.ReportMakespan(os.Stdout, []*rush.Comparison{cmp}); err != nil {
+		log.Fatal(err)
+	}
 }

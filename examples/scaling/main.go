@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"rush"
 )
@@ -32,9 +33,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
-		fmt.Print(rush.ReportScalingDist(cmp))
+		if err := rush.ReportScalingDist(os.Stdout, cmp); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println()
-		fmt.Print(rush.ReportMaxImprovement(cmp))
+		if err := rush.ReportMaxImprovement(os.Stdout, cmp); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Println()

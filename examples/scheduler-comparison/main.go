@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"rush"
 )
@@ -35,13 +36,21 @@ func main() {
 	}
 	ref := rush.BaselineStats(adaa.Baseline)
 	fmt.Println()
-	fmt.Print(rush.ReportVariation(adaa, ref))
+	if err := rush.ReportVariation(os.Stdout, adaa, ref); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(rush.ReportRunTimeDist(adaa))
+	if err := rush.ReportRunTimeDist(os.Stdout, adaa); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(rush.ReportMakespan([]*rush.Comparison{adaa}))
+	if err := rush.ReportMakespan(os.Stdout, []*rush.Comparison{adaa}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(rush.ReportWaitTimes(adaa))
+	if err := rush.ReportWaitTimes(os.Stdout, adaa); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 
 	// PDPA: the model has never seen the three running applications.
@@ -56,9 +65,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(rush.ReportVariation(pdpa, rush.BaselineStats(pdpa.Baseline)))
+	if err := rush.ReportVariation(os.Stdout, pdpa, rush.BaselineStats(pdpa.Baseline)); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	fmt.Print(rush.ReportRunTimeDist(pdpa))
+	if err := rush.ReportRunTimeDist(os.Stdout, pdpa); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 	fmt.Println("RUSH reduces variation even for applications its model never saw —")
 	fmt.Println("the paper's generalization result (Figures 4 and 7).")

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"rush"
@@ -24,7 +25,9 @@ func main() {
 	ds := res.JobScope
 
 	// Weekly relative run times (the Figure 1 table).
-	fmt.Print(rush.ReportFigure1(ds))
+	if err := rush.ReportFigure1(os.Stdout, ds); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 
 	// Which applications are variation prone? Rank by coefficient of

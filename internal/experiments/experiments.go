@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -16,6 +17,7 @@ import (
 	"rush/internal/core"
 	"rush/internal/faults"
 	"rush/internal/machine"
+	"rush/internal/obs"
 	"rush/internal/parallel"
 	"rush/internal/sched"
 	"rush/internal/sim"
@@ -74,6 +76,17 @@ type Config struct {
 	// every worker count produces byte-identical output (pinned by
 	// TestRunExperimentParallelDeterminism).
 	Workers int
+
+	// Trace records each trial's structured event stream (JSONL) into
+	// Trial.Trace. Events are keyed by simulated time and buffered
+	// per-trial, so traces are byte-identical at any worker count and
+	// enabling them changes no scheduling decision (pinned by
+	// TestTracingDoesNotPerturbScheduling).
+	Trace bool
+	// Metrics maintains a per-trial metrics registry (scheduler, gate,
+	// breaker, fault, and engine counters plus wait/run histograms),
+	// snapshotted into Trial.Metrics and rendered by ReportMetrics.
+	Metrics bool
 }
 
 func (c *Config) fill() {
@@ -134,6 +147,11 @@ type Trial struct {
 	GateDegraded int
 	BreakerTrips int
 	DegradedTime float64
+
+	// Trace is the trial's JSONL event stream (nil unless Config.Trace).
+	Trace []byte `json:",omitempty"`
+	// Metrics is the trial's metrics snapshot (nil unless Config.Metrics).
+	Metrics *obs.Snapshot `json:",omitempty"`
 }
 
 // RunTrial executes spec once under the given policy. The same seed
@@ -152,6 +170,25 @@ func RunTrial(spec workload.Spec, policy Policy, pred *core.Predictor, seed int6
 func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
 	cfg.fill()
 	eng := sim.New(seed)
+
+	// Per-trial observation channels. Buffering the trace in memory (and
+	// keying events by simulated time only) is what makes traces
+	// byte-identical at any worker count: each trial owns its buffer and
+	// the caller concatenates them in trial order.
+	var traceBuf *bytes.Buffer
+	var tracer *obs.Tracer
+	if cfg.Trace {
+		traceBuf = &bytes.Buffer{}
+		tracer = obs.NewTracer(traceBuf)
+	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
+		eng.Instrument(reg.Counter("sim_events_scheduled_total"), reg.Counter("sim_events_fired_total"))
+	}
+	observer := obs.New(tracer, reg)
+	observer.Emit(obs.Event{Time: 0, Kind: obs.KindTrial, Experiment: name, Policy: string(policy), Seed: seed})
+
 	m, err := machine.New(eng, cfg.Topo)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -192,8 +229,13 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	if cfg.UseSJF {
 		r1, r2 = sched.SJF{}, sched.SJF{}
 	}
-	s := sched.New(m, r1, r2, gate)
-	s.Backfill = cfg.Backfill
+	s, err := sched.NewScheduler(sched.Config{
+		Machine: m, Primary: r1, Backfill: r2, Gate: gate,
+		Mode: cfg.Backfill, Observer: observer, Faults: inj,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 
 	immediate := map[int]bool{}
 	for _, sj := range jobs {
@@ -262,6 +304,15 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		tr.GateEvaluations = canaryGate.Evaluations
 		tr.GateVetoes = canaryGate.Vetoes
 		tr.ThresholdOverrides = canaryGate.ThresholdOverrides
+	}
+	if traceBuf != nil {
+		if err := tracer.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: trace: %w", err)
+		}
+		tr.Trace = traceBuf.Bytes()
+	}
+	if reg != nil {
+		tr.Metrics = reg.Snapshot()
 	}
 	return tr, nil
 }

@@ -136,7 +136,7 @@ func TestFaultMatrixSmoke(t *testing.T) {
 	if rows[1].Cmp.RUSH[0].GateDegraded == 0 {
 		t.Fatal("outage scenario should degrade some gate decisions")
 	}
-	if out := ReportFaults(rows[1].Cmp); out == "" {
+	if out := ReportFaultsString(rows[1].Cmp); out == "" {
 		t.Fatal("fault report is empty")
 	}
 }

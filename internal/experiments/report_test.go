@@ -9,7 +9,7 @@ import (
 )
 
 func TestReportTableI(t *testing.T) {
-	out := ReportTableI()
+	out := ReportTableIString()
 	for _, want := range []string{"sysclassib", "opa_info", "lustre_client", "282"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Table I report missing %q:\n%s", want, out)
@@ -18,7 +18,7 @@ func TestReportTableI(t *testing.T) {
 }
 
 func TestReportTableII(t *testing.T) {
-	out := ReportTableII()
+	out := ReportTableIIString()
 	for _, want := range []string{"ADAA", "ADPA", "PDPA", "WS", "SS", "190", "150"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Table II report missing %q:\n%s", want, out)
@@ -30,7 +30,7 @@ func TestReportFigure3(t *testing.T) {
 	scores := []core.ModelScore{
 		{Model: core.ModelAdaBoost, Scope: "job-nodes", F1: 0.93, Accuracy: 0.98},
 	}
-	out := ReportFigure3(scores)
+	out := ReportFigure3String(scores)
 	if !strings.Contains(out, "AdaBoost") || !strings.Contains(out, "0.930") {
 		t.Fatalf("Figure 3 report wrong:\n%s", out)
 	}
@@ -45,19 +45,19 @@ func TestExperimentReports(t *testing.T) {
 	}
 	ref := BaselineStats(cmp.Baseline)
 
-	variation := ReportVariation(cmp, ref)
+	variation := ReportVariationString(cmp, ref)
 	if !strings.Contains(variation, "TOTAL") || !strings.Contains(variation, "Laghos") {
 		t.Fatalf("variation report wrong:\n%s", variation)
 	}
-	dist := ReportRunTimeDist(cmp)
+	dist := ReportRunTimeDistString(cmp)
 	if !strings.Contains(dist, "max=") || !strings.Contains(dist, "RUSH") {
 		t.Fatalf("dist report wrong:\n%s", dist)
 	}
-	mk := ReportMakespan([]*Comparison{cmp})
+	mk := ReportMakespanString([]*Comparison{cmp})
 	if !strings.Contains(mk, "ADAA") || !strings.Contains(mk, "delta") {
 		t.Fatalf("makespan report wrong:\n%s", mk)
 	}
-	wt := ReportWaitTimes(cmp)
+	wt := ReportWaitTimesString(cmp)
 	if !strings.Contains(wt, "FCFS+EASY=") {
 		t.Fatalf("wait report wrong:\n%s", wt)
 	}
@@ -70,13 +70,13 @@ func TestScalingReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sd := ReportScalingDist(cmp)
+	sd := ReportScalingDistString(cmp)
 	for _, want := range []string{" 8 nodes", "16 nodes", "32 nodes"} {
 		if !strings.Contains(sd, want) {
 			t.Fatalf("scaling dist missing %q:\n%s", want, sd)
 		}
 	}
-	mi := ReportMaxImprovement(cmp)
+	mi := ReportMaxImprovementString(cmp)
 	if !strings.Contains(mi, "%") {
 		t.Fatalf("improvement report wrong:\n%s", mi)
 	}
@@ -87,7 +87,7 @@ func TestReportFigure1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := ReportFigure1(res.JobScope)
+	out := ReportFigure1String(res.JobScope)
 	for _, want := range []string{"Laghos", "LBANN", "peak"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Figure 1 report missing %q:\n%s", want, out)

@@ -15,6 +15,7 @@ import (
 
 	"rush/internal/cluster"
 	"rush/internal/machine"
+	"rush/internal/obs"
 	"rush/internal/sim"
 )
 
@@ -87,10 +88,28 @@ type Injector struct {
 	m   *machine.Machine
 	src *sim.Source
 
+	obs     *obs.Observer
+	cFail   *obs.Counter
+	cRepair *obs.Counter
+	cKill   *obs.Counter
+
 	// NodeFailures / NodeRepairs / JobKills count injected events.
 	NodeFailures int
 	NodeRepairs  int
 	JobKills     int
+}
+
+// Observe attaches an observer: node failures and repairs emit
+// node-down/node-up trace events and maintain fault counters in the
+// metrics registry. Observation is pure bookkeeping — it draws no
+// randomness and schedules nothing, so an observed run injects exactly
+// the same faults as an unobserved one.
+func (inj *Injector) Observe(o *obs.Observer) {
+	inj.obs = o
+	reg := o.Metrics()
+	inj.cFail = reg.Counter("faults_node_failures_total")
+	inj.cRepair = reg.Counter("faults_node_repairs_total")
+	inj.cKill = reg.Counter("faults_job_kills_total")
 }
 
 // Attach wires cfg's fault classes into m, drawing all randomness from
@@ -144,6 +163,11 @@ func (inj *Injector) fail(node cluster.NodeID, rng *sim.Source) {
 	}
 	inj.NodeFailures++
 	inj.JobKills += kills
+	inj.cFail.Inc()
+	inj.cKill.Add(uint64(kills))
+	if inj.obs != nil {
+		inj.obs.Emit(obs.Event{Time: inj.m.Eng.Now(), Kind: obs.KindNodeDown, Node: int(node), Kills: kills})
+	}
 	inj.m.Eng.Schedule(rng.Exponential(inj.cfg.NodeMTTR), func() { inj.repair(node, rng) })
 }
 
@@ -152,6 +176,10 @@ func (inj *Injector) repair(node cluster.NodeID, rng *sim.Source) {
 		return
 	}
 	inj.NodeRepairs++
+	inj.cRepair.Inc()
+	if inj.obs != nil {
+		inj.obs.Emit(obs.Event{Time: inj.m.Eng.Now(), Kind: obs.KindNodeUp, Node: int(node)})
+	}
 	inj.m.Eng.Schedule(rng.Exponential(inj.cfg.NodeMTBF), func() { inj.fail(node, rng) })
 }
 

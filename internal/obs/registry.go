@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"sort"
+)
+
+// Counter is a monotonically increasing count. The nil counter is a
+// valid no-op, so instrumented code can resolve handles once at
+// construction and increment unconditionally.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value (or peak) metric. The nil gauge is a no-op.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Max records v only if it exceeds the current value (peak tracking).
+func (g *Gauge) Max(v float64) {
+	if g != nil && (!g.set || v > g.v) {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the current value (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution. Bucket i counts observations
+// v <= Edges[i]; the final implicit bucket counts overflows. Fixed edges
+// keep snapshots mergeable across trials and byte-identical across runs.
+type Histogram struct {
+	edges  []float64
+	counts []uint64 // len(edges)+1; the last bucket is +Inf
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value. Nil histograms drop it.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	h.counts[sort.SearchFloat64s(h.edges, v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds named metrics for one trial. It is not safe for
+// concurrent use; the simulator is single-threaded per trial and each
+// trial owns its own registry, which is what keeps parallel experiment
+// runs deterministic. The nil registry hands out nil (no-op) handles.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket edges on first use. Later calls reuse the existing
+// histogram (and its original edges) regardless of the edges argument,
+// so a metric name always has one fixed bucket layout.
+func (r *Registry) Histogram(name string, edges []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		e := append([]float64(nil), edges...)
+		h = &Histogram{edges: e, counts: make([]uint64, len(e)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricValue is one named scalar in a snapshot.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Counts has one entry
+// per edge plus a final overflow bucket.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Edges  []float64 `json:"edges"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is an immutable, name-sorted view of a registry, suitable for
+// embedding in trial results and diffing byte-for-byte across runs.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state with deterministic
+// (sorted) ordering. A nil registry snapshots to nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: float64(r.counters[name].Value())})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: r.gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:   name,
+			Edges:  append([]float64(nil), h.edges...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.n,
+			Sum:    h.sum,
+		})
+	}
+	return s
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge sums the given snapshots: counters and histogram buckets add,
+// gauges keep their maximum (peak semantics). Nil snapshots are skipped;
+// merging none returns an empty snapshot. Histograms sharing a name must
+// share a bucket layout (they do, by Registry.Histogram's contract).
+func Merge(snaps ...*Snapshot) *Snapshot {
+	counters := map[string]float64{}
+	gauges := map[string]float64{}
+	hists := map[string]*HistogramValue{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			if cur, ok := gauges[g.Name]; !ok || g.Value > cur {
+				gauges[g.Name] = g.Value
+			}
+		}
+		for _, h := range s.Histograms {
+			acc := hists[h.Name]
+			if acc == nil {
+				acc = &HistogramValue{
+					Name:   h.Name,
+					Edges:  append([]float64(nil), h.Edges...),
+					Counts: make([]uint64, len(h.Counts)),
+				}
+				hists[h.Name] = acc
+			}
+			for i := range h.Counts {
+				acc.Counts[i] += h.Counts[i]
+			}
+			acc.Count += h.Count
+			acc.Sum += h.Sum
+		}
+	}
+	out := &Snapshot{}
+	for _, name := range sortedKeys(counters) {
+		out.Counters = append(out.Counters, MetricValue{Name: name, Value: counters[name]})
+	}
+	for _, name := range sortedKeys(gauges) {
+		out.Gauges = append(out.Gauges, MetricValue{Name: name, Value: gauges[name]})
+	}
+	for _, name := range sortedKeys(hists) {
+		out.Histograms = append(out.Histograms, *hists[name])
+	}
+	return out
+}

@@ -1,5 +1,7 @@
 package sched
 
+import "rush/internal/obs"
+
 // BreakerState is a circuit-breaker phase.
 type BreakerState int
 
@@ -51,6 +53,10 @@ type Breaker struct {
 	downSince float64
 	downTotal float64
 	isDown    bool
+
+	obs    *obs.Observer
+	cTrips *obs.Counter
+	cTrans *obs.Counter
 }
 
 // NewBreaker returns a closed breaker with the default thresholds.
@@ -58,11 +64,37 @@ func NewBreaker() *Breaker {
 	return &Breaker{FailureThreshold: 3, OpenDuration: 300}
 }
 
+// Observe attaches an observer: every state transition (including the
+// implicit open -> half-open advance inside State) emits exactly one
+// breaker trace event, and trip/transition counters are maintained in
+// the metrics registry.
+func (b *Breaker) Observe(o *obs.Observer) {
+	b.obs = o
+	reg := o.Metrics()
+	b.cTrips = reg.Counter("breaker_trips_total")
+	b.cTrans = reg.Counter("breaker_transitions_total")
+}
+
+// transition moves the breaker to state to, emitting one trace event per
+// actual state change. All state writes go through here so a transition
+// can never be observed twice (or silently skipped).
+func (b *Breaker) transition(now float64, to BreakerState) {
+	from := b.state
+	b.state = to
+	if from == to {
+		return
+	}
+	b.cTrans.Inc()
+	if b.obs != nil {
+		b.obs.Emit(obs.Event{Time: now, Kind: obs.KindBreaker, From: from.String(), To: to.String()})
+	}
+}
+
 // State returns the breaker phase at time now, advancing open ->
 // half-open when the cool-down has elapsed.
 func (b *Breaker) State(now float64) BreakerState {
 	if b.state == BreakerOpen && now-b.openedAt >= b.OpenDuration {
-		b.state = BreakerHalfOpen
+		b.transition(now, BreakerHalfOpen)
 	}
 	return b.state
 }
@@ -77,7 +109,7 @@ func (b *Breaker) Ready(now float64) bool {
 // Success records a healthy model decision, closing the breaker.
 func (b *Breaker) Success(now float64) {
 	b.failures = 0
-	b.state = BreakerClosed
+	b.transition(now, BreakerClosed)
 	if b.isDown {
 		b.downTotal += now - b.downSince
 		b.isDown = false
@@ -91,8 +123,9 @@ func (b *Breaker) Failure(now float64) {
 	if b.state == BreakerHalfOpen || b.failures >= b.FailureThreshold {
 		if b.state != BreakerOpen {
 			b.Trips++
+			b.cTrips.Inc()
 		}
-		b.state = BreakerOpen
+		b.transition(now, BreakerOpen)
 		b.openedAt = now
 		if !b.isDown {
 			b.downSince = now

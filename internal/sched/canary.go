@@ -4,6 +4,7 @@ import (
 	"rush/internal/apps"
 	"rush/internal/cluster"
 	"rush/internal/machine"
+	"rush/internal/obs"
 	"rush/internal/simnet"
 )
 
@@ -31,6 +32,11 @@ type Canary struct {
 	// ThresholdOverrides counts jobs forced through after exhausting
 	// their skip threshold.
 	ThresholdOverrides int
+
+	obs        *obs.Observer
+	cEvals     *obs.Counter
+	cVetoes    *obs.Counter
+	cOverrides *obs.Counter
 }
 
 // NewCanary returns a canary gate over machine m.
@@ -41,16 +47,38 @@ func NewCanary(m *machine.Machine) *Canary {
 // Name implements Gate.
 func (g *Canary) Name() string { return "Canary" }
 
+// Observe implements ObservableGate. The canary has no model, so its
+// gate events carry class -1; the probe slowdown signal is what drove
+// the decision.
+func (g *Canary) Observe(o *obs.Observer) {
+	g.obs = o
+	reg := o.Metrics()
+	g.cEvals = reg.Counter("gate_evaluations_total")
+	g.cVetoes = reg.Counter("gate_vetoes_total")
+	g.cOverrides = reg.Counter("gate_overrides_total")
+}
+
+func (g *Canary) emit(j *Job, decision string) {
+	if !g.obs.Tracing() {
+		return
+	}
+	g.obs.Emit(obs.Event{Time: g.m.Eng.Now(), Kind: obs.KindGate, Job: j.ID, App: j.App.Name,
+		Decision: decision, Class: -1, Skips: j.Skips, Age: -1, Missing: -1})
+}
+
 // Allow implements Gate.
 func (g *Canary) Allow(j *Job, alloc cluster.Allocation) bool {
 	if j.Skips >= j.SkipLimit() {
 		g.ThresholdOverrides++
+		g.cOverrides.Inc()
+		g.emit(j, obs.DecisionOverride)
 		return true
 	}
 	if !g.AllClasses && j.App.Class == apps.ComputeIntensive {
 		return true
 	}
 	g.Evaluations++
+	g.cEvals.Inc()
 	probes := g.m.RunProbes(alloc)
 	// Mean per-node probe time versus the idle expectation.
 	var sum float64
@@ -60,7 +88,10 @@ func (g *Canary) Allow(j *Job, alloc cluster.Allocation) bool {
 	mean := sum / float64(len(probes.SendWait))
 	if mean > g.SlowdownThreshold*simnet.ProbeIdleDuration() {
 		g.Vetoes++
+		g.cVetoes.Inc()
+		g.emit(j, obs.DecisionVeto)
 		return false
 	}
+	g.emit(j, obs.DecisionStart)
 	return true
 }

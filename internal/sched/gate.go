@@ -8,6 +8,7 @@ import (
 	"rush/internal/dataset"
 	"rush/internal/machine"
 	"rush/internal/mlkit"
+	"rush/internal/obs"
 )
 
 // RUSH is the paper's model-based gate (Algorithm 2): before a job
@@ -66,6 +67,71 @@ type RUSH struct {
 	// stale or too sparse, or breaker open) — jobs that launched exactly
 	// as the FCFS+EASY baseline would have.
 	Degraded int
+
+	obs *obs.Observer
+	met gateMetrics
+}
+
+// gateMetrics are the RUSH gate's pre-resolved metric handles; all nil
+// (no-op) without an observer.
+type gateMetrics struct {
+	evaluations *obs.Counter
+	vetoes      *obs.Counter
+	overrides   *obs.Counter
+	degraded    *obs.Counter
+	// Per-reason fail-open counters, so faulted runs can attribute
+	// degradation to its cause without parsing the trace.
+	failBreaker *obs.Counter
+	failModel   *obs.Counter
+	failStale   *obs.Counter
+	failMissing *obs.Counter
+}
+
+// Observe implements ObservableGate: decisions emit gate trace events
+// carrying their full provenance (predicted class, skip count, telemetry
+// age, fail-open reason) and maintain evaluation/veto/fail-open counters.
+func (g *RUSH) Observe(o *obs.Observer) {
+	g.obs = o
+	reg := o.Metrics()
+	g.met = gateMetrics{
+		evaluations: reg.Counter("gate_evaluations_total"),
+		vetoes:      reg.Counter("gate_vetoes_total"),
+		overrides:   reg.Counter("gate_overrides_total"),
+		degraded:    reg.Counter("gate_degraded_total"),
+		failBreaker: reg.Counter("gate_fail_open_breaker_open_total"),
+		failModel:   reg.Counter("gate_fail_open_model_down_total"),
+		failStale:   reg.Counter("gate_fail_open_stale_telemetry_total"),
+		failMissing: reg.Counter("gate_fail_open_missing_features_total"),
+	}
+	if g.Breaker != nil {
+		g.Breaker.Observe(o)
+	}
+}
+
+// failReason maps a fail-open reason to its counter.
+func (g *RUSH) failReason(reason string) *obs.Counter {
+	switch reason {
+	case obs.ReasonBreakerOpen:
+		return g.met.failBreaker
+	case obs.ReasonModelDown:
+		return g.met.failModel
+	case obs.ReasonStaleTelemetry:
+		return g.met.failStale
+	case obs.ReasonMissingFeatures:
+		return g.met.failMissing
+	default:
+		return nil
+	}
+}
+
+// emit records one gate decision event. Unmeasured age/missing values
+// are passed as -1, which the tracer omits from the encoded line.
+func (g *RUSH) emit(now float64, j *Job, decision string, class int, reason string, age, missing float64) {
+	if !g.obs.Tracing() {
+		return
+	}
+	g.obs.Emit(obs.Event{Time: now, Kind: obs.KindGate, Job: j.ID, App: j.App.Name,
+		Decision: decision, Class: class, Skips: j.Skips, Reason: reason, Age: age, Missing: missing})
 }
 
 // NewRUSH returns the RUSH gate over machine m with the given trained
@@ -96,44 +162,66 @@ func (g *RUSH) Name() string { return "RUSH" }
 // model consumes no probe randomness and a 100%-outage run is
 // bit-identical to the baseline.
 func (g *RUSH) Allow(j *Job, alloc cluster.Allocation) bool {
+	now := g.m.Eng.Now()
 	if j.Skips >= j.SkipLimit() {
 		g.ThresholdOverrides++
+		g.met.overrides.Inc()
+		g.emit(now, j, obs.DecisionOverride, -1, "", -1, -1)
 		return true
 	}
-	now := g.m.Eng.Now()
 	if g.Breaker != nil && !g.Breaker.Ready(now) {
+		// An open breaker is not charged as another breaker failure — the
+		// model was never consulted — but the decision still degraded.
 		g.Degraded++
+		g.met.degraded.Inc()
+		g.met.failBreaker.Inc()
+		g.emit(now, j, obs.DecisionFailOpen, -1, obs.ReasonBreakerOpen, -1, -1)
 		return true
 	}
 	if g.ModelDown != nil && g.ModelDown() {
-		return g.failOpen(now)
+		return g.failOpen(now, j, obs.ReasonModelDown, -1, -1)
 	}
+	age := -1.0
 	if g.MaxStaleness > 0 {
-		if age := g.m.Sampler.FreshnessAge(g.scopeNodes(alloc), now); age > g.MaxStaleness {
-			return g.failOpen(now)
+		age = g.m.Sampler.FreshnessAge(g.scopeNodes(alloc), now)
+		if age > g.MaxStaleness {
+			return g.failOpen(now, j, obs.ReasonStaleTelemetry, age, -1)
 		}
 	}
 	feats := g.LiveFeatures(alloc, j.App.Class)
-	if g.MaxMissing > 0 && nanFraction(feats) > g.MaxMissing {
-		return g.failOpen(now)
+	missing := -1.0
+	if g.MaxMissing > 0 {
+		missing = nanFraction(feats)
+		if missing > g.MaxMissing {
+			return g.failOpen(now, j, obs.ReasonMissingFeatures, age, missing)
+		}
 	}
 	g.Evaluations++
+	g.met.evaluations.Inc()
 	if g.Breaker != nil {
 		g.Breaker.Success(now)
 	}
-	if g.predictVariation(feats) {
+	veto, class := g.decide(feats)
+	if veto {
 		g.Vetoes++
+		g.met.vetoes.Inc()
+		g.emit(now, j, obs.DecisionVeto, class, "", age, missing)
 		return false
 	}
+	g.emit(now, j, obs.DecisionStart, class, "", age, missing)
 	return true
 }
 
-// failOpen records a model-path failure and lets the job start.
-func (g *RUSH) failOpen(now float64) bool {
+// failOpen records a model-path failure and lets the job start. The
+// predicted class is reported as -1: the model was never consulted.
+func (g *RUSH) failOpen(now float64, j *Job, reason string, age, missing float64) bool {
 	if g.Breaker != nil {
 		g.Breaker.Failure(now)
 	}
 	g.Degraded++
+	g.met.degraded.Inc()
+	g.failReason(reason).Inc()
+	g.emit(now, j, obs.DecisionFailOpen, -1, reason, age, missing)
 	return true
 }
 
@@ -159,9 +247,14 @@ func nanFraction(feats []float64) float64 {
 	return float64(n) / float64(len(feats))
 }
 
-// predictVariation applies either the hard label rule (Algorithm 2) or,
-// when ProbThreshold is set, the probability rule.
-func (g *RUSH) predictVariation(feats []float64) bool {
+// decide applies either the hard label rule (Algorithm 2) or, when
+// ProbThreshold is set, the probability rule. It returns the veto
+// decision together with the model's predicted label so trace events can
+// report the class under both rules. Predict is pure and is always
+// invoked — never only when tracing — so enabling a trace cannot perturb
+// a single decision.
+func (g *RUSH) decide(feats []float64) (veto bool, class int) {
+	class = g.model.Predict(feats)
 	if g.ProbThreshold > 0 {
 		if pp, ok := g.model.(mlkit.ProbaPredictor); ok {
 			probs := pp.PredictProba(feats)
@@ -171,12 +264,12 @@ func (g *RUSH) predictVariation(feats []float64) bool {
 					mass += probs[i]
 				}
 			}
-			return mass > g.ProbThreshold
+			return mass > g.ProbThreshold, class
 		}
 		// The configured model cannot report probabilities; fall back to
 		// the label rule rather than silently never delaying.
 	}
-	return g.VariationLabels[g.model.Predict(feats)]
+	return g.VariationLabels[class], class
 }
 
 // LiveFeatures assembles the 282-feature vector the model expects from

@@ -5,6 +5,33 @@
 // pushes a job back — bounded by a per-job skip threshold — whenever
 // variation is predicted for the current system state.
 //
+// # Construction
+//
+// Schedulers are built from a Config (see NewScheduler): the machine,
+// the two queue-ordering policies, the gate, an optional observer for
+// structured tracing and metrics, and an optional pre-attached fault
+// injector. The positional New constructor is a deprecated shim kept
+// for source compatibility.
+//
+// # Error handling
+//
+// Submit and Pass validate what they can and return errors, but most
+// scheduling work happens inside simulation event callbacks where no
+// caller can receive one. Internal failures there (e.g. allocator
+// divergence) are therefore recorded as a sticky error: the scheduler
+// stops starting jobs and Err returns the first such failure. Drivers
+// must check Err after draining the workload.
+//
+// # Observability
+//
+// When Config.Observer is set, the scheduler emits structured events for
+// every job lifecycle step (submit, start, backfill, finish, requeue,
+// failure) and maintains counters and wait/run-time histograms in the
+// observer's metrics registry. Gates and the circuit breaker emit their
+// own decision and transition events (see gate.go and breaker.go). A nil
+// observer compiles to a nil check on the hot path: zero allocations,
+// pinned by TestPassZeroAllocs and BenchmarkPassNoObserver.
+//
 // # Fail-open semantics
 //
 // The RUSH gate is an optimization, never a dependency: any failure on
@@ -36,6 +63,7 @@ import (
 	"rush/internal/apps"
 	"rush/internal/cluster"
 	"rush/internal/machine"
+	"rush/internal/obs"
 )
 
 // DefaultSkipThreshold is the paper's bound on how many times one job may
@@ -91,6 +119,12 @@ type Job struct {
 
 	queuedAt  float64 // when the job (re-)entered the queue
 	waitAccum float64 // queued seconds accumulated across all stints
+
+	// Veto bookkeeping, kept on the job instead of in per-pass maps so
+	// the scheduling hot path allocates nothing (see Pass).
+	vetoGen     uint64  // pass generation of the most recent veto
+	lastVetoAt  float64 // when the job was last gate-vetoed
+	vetoPending bool    // vetoed since it last started
 }
 
 // WaitTime returns total time spent queued, accumulated across every
@@ -184,6 +218,15 @@ type Gate interface {
 	Name() string
 }
 
+// ObservableGate is implemented by gates that can report decision
+// provenance through an observer. NewScheduler wires Config.Observer
+// into any gate implementing it.
+type ObservableGate interface {
+	Gate
+	// Observe attaches the observer (tracer + metrics).
+	Observe(*obs.Observer)
+}
+
 // AlwaysStart is the baseline gate: every job launches immediately.
 type AlwaysStart struct{}
 
@@ -222,16 +265,41 @@ func (m BackfillMode) String() string {
 	}
 }
 
+// schedMetrics holds the scheduler's pre-resolved metric handles. With
+// no observer every handle is nil and every update is a no-op; resolving
+// them once at construction keeps name lookups off the hot path.
+type schedMetrics struct {
+	submitted  *obs.Counter
+	started    *obs.Counter
+	backfilled *obs.Counter
+	finished   *obs.Counter
+	requeued   *obs.Counter
+	failed     *obs.Counter
+	vetoes     *obs.Counter
+	queuePeak  *obs.Gauge
+	waitHist   *obs.Histogram
+	runHist    *obs.Histogram
+}
+
+// Fixed histogram bucket edges (seconds). Fixed edges keep per-trial
+// snapshots mergeable and byte-identical across runs.
+var (
+	waitBuckets = []float64{1, 5, 15, 30, 60, 120, 300, 600, 1200, 1800, 3600}
+	runBuckets  = []float64{60, 120, 180, 240, 300, 450, 600, 900, 1800, 3600}
+)
+
 // Scheduler runs Algorithm 1 over a simulated machine: the main queue is
 // ordered by R1; when the head cannot start, it receives an EASY
 // reservation and R2-ordered candidates are backfilled around it without
 // delaying that reservation. Alternative backfill disciplines are
 // selected with the Backfill field.
 type Scheduler struct {
-	m  *machine.Machine
-	r1 Policy
-	r2 Policy
-	gt Gate
+	m   *machine.Machine
+	r1  Policy
+	r2  Policy
+	gt  Gate
+	obs *obs.Observer
+	met schedMetrics
 
 	// Backfill selects the backfilling discipline (default EASY).
 	Backfill BackfillMode
@@ -264,26 +332,25 @@ type Scheduler struct {
 	// minutes).
 	MaxRequeueBackoff float64
 
-	vetoed     map[*Job]bool
-	lastVeto   map[*Job]float64
+	// Veto bookkeeping. passGen identifies the current pass: a job with
+	// vetoGen == passGen was vetoed this pass and is not reconsidered
+	// until the next one. passVetoes counts vetoes in the current pass
+	// and pendingVetoes the jobs vetoed since they last started; both
+	// replace the per-pass maps the scheduler used to allocate.
+	passGen       uint64
+	passVetoes    int
+	pendingVetoes int
+
+	// Reusable scratch buffers so a pass that starts nothing allocates
+	// nothing (pinned by TestPassZeroAllocs).
+	candsBuf []*Job
+	relsBuf  []release
+	relSort  relSorter
+
 	inPass     bool
 	passWant   bool
 	retryArmed bool
 	err        error
-}
-
-// New returns a scheduler over m using R1 for the main queue, R2 for
-// backfilling, and gate to make the start decision.
-func New(m *machine.Machine, r1, r2 Policy, gate Gate) *Scheduler {
-	return &Scheduler{
-		m: m, r1: r1, r2: r2, gt: gate,
-		RetryInterval:     30,
-		VetoCooldown:      30,
-		RequeueBackoff:    60,
-		MaxRequeueBackoff: 15 * 60,
-		vetoed:            map[*Job]bool{},
-		lastVeto:          map[*Job]float64{},
-	}
 }
 
 // Machine returns the underlying machine.
@@ -301,6 +368,9 @@ func (s *Scheduler) Completed() []*Job { return s.completed }
 // GateName returns the active gate's name (for reports).
 func (s *Scheduler) GateName() string { return s.gt.Name() }
 
+// Observer returns the attached observer, or nil.
+func (s *Scheduler) Observer() *obs.Observer { return s.obs }
+
 // Submit validates and enqueues j (stamping its submit time), then runs
 // a scheduling pass. A job that cannot ever run on this machine is
 // rejected with an error rather than enqueued.
@@ -316,7 +386,15 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.EndTime = math.NaN()
 	j.queuedAt = j.SubmitTime
 	j.waitAccum = 0
+	j.vetoGen = 0
+	j.lastVetoAt = 0
+	j.vetoPending = false
 	s.queue = append(s.queue, j)
+	s.met.submitted.Inc()
+	s.met.queuePeak.Max(float64(len(s.queue)))
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Time: j.SubmitTime, Kind: obs.KindSubmit, Job: j.ID, App: j.App.Name, Nodes: j.Nodes})
+	}
 	return s.Pass()
 }
 
@@ -344,17 +422,18 @@ func (s *Scheduler) Pass() error {
 		}
 	}()
 
-	s.vetoed = map[*Job]bool{}
+	s.passGen++
+	s.passVetoes = 0
 restart:
 	for s.err == nil {
-		sort.SliceStable(s.queue, func(i, j int) bool { return s.r1.Less(s.queue[i], s.queue[j]) })
+		sortJobs(s.queue, s.r1)
 		var pivot *Job
 		for _, j := range s.queue {
-			if s.vetoed[j] || s.coolingDown(j) {
+			if j.vetoGen == s.passGen || s.coolingDown(j) {
 				continue
 			}
 			if s.m.Alloc.CanAlloc(j.Nodes) {
-				if s.tryStart(j) {
+				if s.tryStart(j, false) {
 					continue restart
 				}
 				continue // vetoed: consider the next job, j keeps its place
@@ -374,20 +453,21 @@ restart:
 			}
 		default: // EASY backfilling around the pivot's reservation.
 			shadow, extra := s.reservation(pivot)
-			cands := make([]*Job, 0, len(s.queue))
+			cands := s.candsBuf[:0]
 			for _, j := range s.queue {
-				if j != pivot && !s.vetoed[j] && !s.coolingDown(j) {
+				if j != pivot && j.vetoGen != s.passGen && !s.coolingDown(j) {
 					cands = append(cands, j)
 				}
 			}
-			sort.SliceStable(cands, func(i, j int) bool { return s.r2.Less(cands[i], cands[j]) })
+			sortJobs(cands, s.r2)
+			s.candsBuf = cands
 			now := s.m.Eng.Now()
 			for _, c := range cands {
 				if !s.m.Alloc.CanAlloc(c.Nodes) {
 					continue
 				}
 				if now+c.Estimate <= shadow || c.Nodes <= extra {
-					if s.tryStart(c) {
+					if s.tryStart(c, true) {
 						continue restart
 					}
 				}
@@ -397,7 +477,7 @@ restart:
 	}
 
 	blockedIdle := len(s.queue) > 0 && len(s.running) == 0
-	if (len(s.vetoed) > 0 || len(s.lastVeto) > 0 || blockedIdle) && s.RetryInterval > 0 && !s.retryArmed {
+	if (s.passVetoes > 0 || s.pendingVetoes > 0 || blockedIdle) && s.RetryInterval > 0 && !s.retryArmed {
 		// Without this timer, a fully vetoed queue on an idle machine
 		// would deadlock: no submit/finish event would ever re-run the
 		// pass even though the state keeps changing (noise phases,
@@ -409,6 +489,23 @@ restart:
 		})
 	}
 	return s.err
+}
+
+// sortJobs is a stable insertion sort under p. Stable sorting has a
+// unique result, so this orders exactly as sort.SliceStable did — but
+// without its per-call allocations, which keeps Pass allocation-free.
+// Queues here are short (hundreds at most) and almost sorted between
+// passes, where insertion sort approaches linear time.
+func sortJobs(q []*Job, p Policy) {
+	for i := 1; i < len(q); i++ {
+		j := q[i]
+		k := i
+		for k > 0 && p.Less(j, q[k-1]) {
+			q[k] = q[k-1]
+			k--
+		}
+		q[k] = j
+	}
 }
 
 // conservativeBackfill places every queued job on a node-availability
@@ -429,10 +526,10 @@ func (s *Scheduler) conservativeBackfill() bool {
 	}
 	p := newProfile(now, s.m.Alloc.FreeCount(), rels)
 	// s.queue is already sorted by R1 (the pass sorts before calling us).
-	for _, j := range s.queue {
+	for i, j := range s.queue {
 		t := p.findSlot(j.Nodes, j.Estimate, now)
-		if t == now && !s.vetoed[j] && !s.coolingDown(j) && s.m.Alloc.CanAlloc(j.Nodes) {
-			if s.tryStart(j) {
+		if t == now && j.vetoGen != s.passGen && !s.coolingDown(j) && s.m.Alloc.CanAlloc(j.Nodes) {
+			if s.tryStart(j, i > 0) {
 				return true
 			}
 			// Vetoed just now: keep its reservation below so no later
@@ -449,9 +546,19 @@ func (s *Scheduler) coolingDown(j *Job) bool {
 	if s.VetoCooldown <= 0 {
 		return false
 	}
-	t, ok := s.lastVeto[j]
-	return ok && s.m.Eng.Now()-t < s.VetoCooldown
+	return j.vetoPending && s.m.Eng.Now()-j.lastVetoAt < s.VetoCooldown
 }
+
+// relSorter sorts a release slice by time in place. It is kept as a
+// scheduler field so sort.Sort receives a pointer that already lives on
+// the scheduler — no per-pass boxing allocation. sort.Sort and the old
+// sort.Slice run the same pdqsort over the same comparisons, so the
+// resulting order is unchanged.
+type relSorter struct{ rels []release }
+
+func (r *relSorter) Len() int           { return len(r.rels) }
+func (r *relSorter) Less(i, j int) bool { return r.rels[i].t < r.rels[j].t }
+func (r *relSorter) Swap(i, j int)      { r.rels[i], r.rels[j] = r.rels[j], r.rels[i] }
 
 // reservation computes the pivot's EASY reservation using the standard
 // count-based method: walk running jobs by estimated completion until
@@ -459,11 +566,7 @@ func (s *Scheduler) coolingDown(j *Job) bool {
 // spare nodes at that time (backfill jobs at most that size cannot delay
 // the reservation regardless of their duration).
 func (s *Scheduler) reservation(pivot *Job) (shadow float64, extra int) {
-	type release struct {
-		t float64
-		n int
-	}
-	rels := make([]release, 0, len(s.running))
+	rels := s.relsBuf[:0]
 	now := s.m.Eng.Now()
 	for _, j := range s.running {
 		end := j.StartTime + j.Estimate
@@ -472,7 +575,9 @@ func (s *Scheduler) reservation(pivot *Job) (shadow float64, extra int) {
 		}
 		rels = append(rels, release{t: end, n: j.Nodes})
 	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].t < rels[j].t })
+	s.relsBuf = rels
+	s.relSort.rels = rels
+	sort.Sort(&s.relSort)
 	avail := s.m.Alloc.FreeCount()
 	shadow = now
 	for _, r := range rels {
@@ -492,11 +597,13 @@ func (s *Scheduler) reservation(pivot *Job) (shadow float64, extra int) {
 }
 
 // tryStart allocates, consults the gate, and either launches the job or
-// applies the Algorithm 2 push-back. An allocation failure after a
-// positive CanAlloc means scheduler and allocator state have diverged;
-// it is recorded as a sticky error (Pass runs inside event callbacks, so
-// there is no caller to return it to mid-cycle) and stops the pass.
-func (s *Scheduler) tryStart(j *Job) bool {
+// applies the Algorithm 2 push-back. backfill marks starts that came
+// through the backfilling path rather than the head of the main queue.
+// An allocation failure after a positive CanAlloc means scheduler and
+// allocator state have diverged; it is recorded as a sticky error (Pass
+// runs inside event callbacks, so there is no caller to return it to
+// mid-cycle) and stops the pass.
+func (s *Scheduler) tryStart(j *Job, backfill bool) bool {
 	alloc, err := s.m.Alloc.Alloc(j.Nodes)
 	if err != nil {
 		if s.err == nil {
@@ -507,15 +614,38 @@ func (s *Scheduler) tryStart(j *Job) bool {
 	if !s.gt.Allow(j, alloc) {
 		s.m.Alloc.Free(alloc)
 		j.Skips++
-		s.vetoed[j] = true
-		s.lastVeto[j] = s.m.Eng.Now()
+		j.vetoGen = s.passGen
+		j.lastVetoAt = s.m.Eng.Now()
+		s.passVetoes++
+		if !j.vetoPending {
+			j.vetoPending = true
+			s.pendingVetoes++
+		}
+		s.met.vetoes.Inc()
 		return false
 	}
 	j.StartTime = s.m.Eng.Now()
 	j.waitAccum += j.StartTime - j.queuedAt
-	delete(s.lastVeto, j)
+	if j.vetoPending {
+		j.vetoPending = false
+		s.pendingVetoes--
+	}
 	s.removeQueued(j)
 	s.running = append(s.running, j)
+	if backfill {
+		s.met.backfilled.Inc()
+	} else {
+		s.met.started.Inc()
+	}
+	s.met.waitHist.Observe(j.waitAccum)
+	if s.obs != nil {
+		kind := obs.KindStart
+		if backfill {
+			kind = obs.KindBackfill
+		}
+		s.obs.Emit(obs.Event{Time: j.StartTime, Kind: kind, Job: j.ID, App: j.App.Name,
+			Nodes: j.Nodes, Wait: j.waitAccum, Skips: j.Skips})
+	}
 	s.m.StartJob(j.App, alloc, j.BaseWork, func(rj *machine.RunningJob) {
 		if rj.Killed {
 			s.requeue(j)
@@ -540,6 +670,12 @@ func (s *Scheduler) finish(j *Job) {
 	j.EndTime = s.m.Eng.Now()
 	s.removeRunning(j)
 	s.completed = append(s.completed, j)
+	s.met.finished.Inc()
+	s.met.runHist.Observe(j.RunTime())
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Time: j.EndTime, Kind: obs.KindFinish, Job: j.ID, App: j.App.Name,
+			Nodes: j.Nodes, Runtime: j.RunTime()})
+	}
 	if s.OnComplete != nil {
 		s.OnComplete(j)
 	}
@@ -559,6 +695,10 @@ func (s *Scheduler) requeue(j *Job) {
 		j.Failed = true
 		j.EndTime = now
 		s.completed = append(s.completed, j)
+		s.met.failed.Inc()
+		if s.obs != nil {
+			s.obs.Emit(obs.Event{Time: now, Kind: obs.KindJobFailed, Job: j.ID, Retries: j.Retries})
+		}
 		if s.OnComplete != nil {
 			s.OnComplete(j)
 		}
@@ -575,6 +715,10 @@ func (s *Scheduler) requeue(j *Job) {
 		if s.MaxRequeueBackoff > 0 && delay > s.MaxRequeueBackoff {
 			delay = s.MaxRequeueBackoff
 		}
+	}
+	s.met.requeued.Inc()
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Time: now, Kind: obs.KindRequeue, Job: j.ID, Retries: j.Retries, Delay: delay})
 	}
 	s.m.Eng.Schedule(delay, func() {
 		j.queuedAt = s.m.Eng.Now()

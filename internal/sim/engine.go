@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"rush/internal/obs"
 )
 
 // Event is a scheduled callback. An Event is created by Engine.Schedule or
@@ -72,6 +74,9 @@ type Engine struct {
 	events eventHeap
 	rng    *Source
 	fired  uint64
+
+	cScheduled *obs.Counter
+	cFired     *obs.Counter
 }
 
 // New returns an engine with its clock at zero whose random streams derive
@@ -93,6 +98,14 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Source returns the engine's root random source.
 func (e *Engine) Source() *Source { return e.rng }
 
+// Instrument attaches metric counters for scheduled and fired events
+// (either may be nil). Counting is pure bookkeeping: it never changes
+// event order, timing, or randomness, so an instrumented run is
+// bit-identical to an uninstrumented one.
+func (e *Engine) Instrument(scheduled, fired *obs.Counter) {
+	e.cScheduled, e.cFired = scheduled, fired
+}
+
 // Schedule registers fn to run delay seconds from now. A negative or NaN
 // delay panics: silently clamping would hide causality bugs in the caller.
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
@@ -111,6 +124,7 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	ev := &Event{Time: t, Fn: fn, seq: e.seq}
 	e.seq++
 	heap.Push(&e.events, ev)
+	e.cScheduled.Inc()
 	return ev
 }
 
@@ -137,6 +151,7 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.Time
 		e.fired++
+		e.cFired.Inc()
 		ev.Fn()
 		return true
 	}

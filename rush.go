@@ -19,7 +19,9 @@
 //     worker count produces byte-identical results (see
 //     ARCHITECTURE.md for the determinism contract).
 //   - The Report* functions render every figure and table of the paper's
-//     evaluation from those results.
+//     evaluation from those results. Each writes to an io.Writer and
+//     returns the first write error; the Report*String variants return
+//     the text directly.
 //
 // A minimal end-to-end run:
 //
@@ -27,10 +29,34 @@
 //	pred, _ := rush.TrainPredictor(res.JobScope, rush.ModelAdaBoost, nil, 1)
 //	spec, _ := rush.SpecByName("ADAA")
 //	cmp, _ := rush.RunExperiment(spec, pred, 5, 1, rush.ExperimentConfig{})
-//	fmt.Print(rush.ReportVariation(cmp, rush.BaselineStats(cmp.Baseline)))
+//	_ = rush.ReportVariation(os.Stdout, cmp, rush.BaselineStats(cmp.Baseline))
+//
+// # Observability
+//
+// Setting ExperimentConfig.Trace records a structured JSONL event
+// stream per trial (job lifecycle, gate decisions with the predicted
+// class and fail-open reason, breaker transitions, node churn) into
+// Trial.Trace; ExperimentConfig.Metrics snapshots per-trial counters
+// and histograms into Trial.Metrics, rendered with ReportMetrics. Both
+// are deterministic — byte-identical at any Workers value — and free
+// when disabled: the instrumented hot paths run with zero allocations
+// and unchanged scheduling decisions. Lower-level users can attach an
+// Observer (NewObserver over a Tracer and/or MetricsRegistry) directly
+// through the internal scheduler's Config.
+//
+// # Scheduler error handling
+//
+// The scheduler validates submissions eagerly, but most scheduling
+// work happens inside simulation event callbacks where no caller can
+// receive an error. Internal failures there are sticky: the scheduler
+// records the first one, stops starting jobs, and surfaces it via its
+// Err method. RunTrial and RunExperiment check Err after draining and
+// propagate it, so façade users only see it as a returned error.
 package rush
 
 import (
+	"io"
+
 	"rush/internal/apps"
 	"rush/internal/cluster"
 	"rush/internal/core"
@@ -38,6 +64,7 @@ import (
 	"rush/internal/experiments"
 	"rush/internal/faults"
 	"rush/internal/mlkit"
+	"rush/internal/obs"
 	"rush/internal/parallel"
 	"rush/internal/stats"
 	"rush/internal/workload"
@@ -285,7 +312,40 @@ var (
 	MeanUtilization = experiments.MeanUtilization
 )
 
-// Report renderers: one per paper figure/table.
+// Observability: structured event tracing and per-trial metrics.
+type (
+	// Observer bundles a Tracer and a MetricsRegistry behind one
+	// nil-able handle; nil means fully disabled at zero cost.
+	Observer = obs.Observer
+	// Tracer encodes TraceEvents as deterministic JSONL.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// MetricsRegistry holds one trial's named counters, gauges, and
+	// histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is an immutable, name-sorted view of a registry
+	// (embedded in Trial.Metrics).
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewTracer returns a tracer writing deterministic JSONL to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewMetricsRegistry returns an empty per-trial metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewObserver bundles the two observation channels; either may be nil,
+// and with both nil it returns the disabled (nil) observer.
+func NewObserver(t *Tracer, m *MetricsRegistry) *Observer { return obs.New(t, m) }
+
+// MergeSnapshots sums counters and histogram buckets across snapshots;
+// gauges keep their maximum.
+var MergeSnapshots = obs.Merge
+
+// Report renderers: one per paper figure/table. Each writes to an
+// io.Writer and returns the first write error; the Report*String
+// variants render to a string.
 var (
 	ReportFigure1        = experiments.ReportFigure1
 	ReportTableI         = experiments.ReportTableI
@@ -298,4 +358,18 @@ var (
 	ReportMakespan       = experiments.ReportMakespan
 	ReportWaitTimes      = experiments.ReportWaitTimes
 	ReportFaults         = experiments.ReportFaults
+	ReportMetrics        = experiments.ReportMetrics
+
+	ReportFigure1String        = experiments.ReportFigure1String
+	ReportTableIString         = experiments.ReportTableIString
+	ReportFigure3String        = experiments.ReportFigure3String
+	ReportTableIIString        = experiments.ReportTableIIString
+	ReportVariationString      = experiments.ReportVariationString
+	ReportRunTimeDistString    = experiments.ReportRunTimeDistString
+	ReportScalingDistString    = experiments.ReportScalingDistString
+	ReportMaxImprovementString = experiments.ReportMaxImprovementString
+	ReportMakespanString       = experiments.ReportMakespanString
+	ReportWaitTimesString      = experiments.ReportWaitTimesString
+	ReportFaultsString         = experiments.ReportFaultsString
+	ReportMetricsString        = experiments.ReportMetricsString
 )

@@ -42,7 +42,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatalf("RUSH increased variation: %v -> %v", base, rushVar)
 	}
 
-	out := ReportVariation(cmp, ref) + ReportMakespan([]*Comparison{cmp}) + ReportWaitTimes(cmp)
+	out := ReportVariationString(cmp, ref) + ReportMakespanString([]*Comparison{cmp}) + ReportWaitTimesString(cmp)
 	for _, want := range []string{"ADAA", "TOTAL", "Figure 10", "RUSH"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q:\n%s", want, out)
@@ -69,10 +69,10 @@ func TestFacadeBasics(t *testing.T) {
 	if DefaultNoise().NodeFraction <= 0 {
 		t.Fatal("noise surface wrong")
 	}
-	if !strings.Contains(ReportTableI(), "282") {
+	if !strings.Contains(ReportTableIString(), "282") {
 		t.Fatal("Table I report broken")
 	}
-	if !strings.Contains(ReportTableII(), "PDPA") {
+	if !strings.Contains(ReportTableIIString(), "PDPA") {
 		t.Fatal("Table II report broken")
 	}
 	m, err := NewModel(ModelDecisionForest, 1)
