@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs vet fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,16 @@ bench-obs:
 	echo "$$out"; \
 	echo "$$out" | grep -q ' 0 allocs/op' || { echo "bench-obs: Pass allocates with a nil observer"; exit 1; }
 
+# bench-gate guards the gate-decision fast path: a steady-state gate
+# decision on a 512-node machine-wide scope must perform zero heap
+# allocations. The grep inspects only the fast sub-benchmark's line, so
+# the (deliberately allocating) reference sub-benchmark cannot mask a
+# regression. Reference numbers live in BENCH_gate.json.
+bench-gate:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkGateDecision/fast' -benchmem .); \
+	echo "$$out"; \
+	echo "$$out" | grep 'GateDecision/fast' | grep -q ' 0 allocs/op' || { echo "bench-gate: gate decision allocates on the fast path"; exit 1; }
+
 vet:
 	$(GO) vet ./...
 
@@ -44,6 +54,6 @@ fmt:
 
 # ci is the full gate: formatting, static analysis, the test suite
 # under the race detector (race subsumes race-hot; both run so the hot
-# paths report first), the zero-alloc observability guard, and the
-# parallel-speedup smoke.
-ci: fmt vet race-hot race bench-obs bench-smoke
+# paths report first), the zero-alloc observability and gate-decision
+# guards, and the parallel-speedup smoke.
+ci: fmt vet race-hot race bench-obs bench-gate bench-smoke

@@ -25,9 +25,16 @@ import (
 	"testing"
 	"time"
 
+	"rush/internal/apps"
+	"rush/internal/cluster"
 	"rush/internal/core"
+	"rush/internal/dataset"
 	"rush/internal/experiments"
+	"rush/internal/machine"
 	"rush/internal/mlkit"
+	"rush/internal/sched"
+	"rush/internal/sim"
+	"rush/internal/simnet"
 	"rush/internal/workload"
 )
 
@@ -463,4 +470,122 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 // leaveOneAppOut builds per-application CV folds from a campaign.
 func leaveOneAppOut(res *core.CollectResult) ([]string, [][]int) {
 	return mlkitLeaveOneGroupOut(res.JobScope.AppNames())
+}
+
+// ----- Gate-decision fast path (BENCH_gate.json) -----
+
+// The gate benchmarks deliberately skip the 120-day benchSetup campaign:
+// the fast path's contract is about per-decision cost, so a compact
+// synthetic-data ensemble (same feature width and class count as the
+// real predictor) keeps `make bench-gate` runnable in seconds while the
+// differential tests pin equivalence to the reference path.
+var (
+	benchGateOnce  sync.Once
+	benchGateModel mlkit.Classifier
+)
+
+func gateBenchModel(b *testing.B) mlkit.Classifier {
+	b.Helper()
+	benchGateOnce.Do(func() {
+		rng := sim.NewSource(1234).Derive("bench-gate")
+		const n = 240
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			row := make([]float64, dataset.NumFeatures)
+			c := rng.Intn(3)
+			for j := range row {
+				row[j] = rng.Normal(float64(c)*float64(j%5)*0.2, 1.0)
+			}
+			x[i] = row
+			y[i] = c
+		}
+		m := mlkit.NewAdaBoost(mlkit.AdaBoostConfig{Rounds: 30, Depth: 2, Seed: 9, Workers: 1})
+		if err := m.Fit(x, y); err != nil {
+			panic(err)
+		}
+		benchGateModel = m
+	})
+	return benchGateModel
+}
+
+// newBenchGate builds a 512-node machine under ambient load with a RUSH
+// gate on the machine-wide scope — the heaviest decision the scheduler
+// issues — either on the fast path or forced through the reference path.
+func newBenchGate(b *testing.B, fast bool) (*sched.RUSH, *sched.Job, cluster.Allocation) {
+	b.Helper()
+	eng := sim.New(4242)
+	m, err := machine.New(eng, cluster.Topology{Nodes: 512, PodSize: 64, CoresPerNode: 36})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gate := sched.NewRUSH(m, gateBenchModel(b))
+	gate.AllNodesScope = true
+	gate.DisableFastPath = !fast
+	bg := m.NewBackground()
+	bg.Set(simnet.Contribution{
+		PodNet: map[int]float64{0: 0.8, 1: 0.6, 2: 0.9, 3: 0.4, 4: 0.7, 5: 0.5, 6: 0.3, 7: 0.6},
+		FS:     0.3,
+	})
+	eng.RunUntil(900)
+	nodes := make([]cluster.NodeID, 16)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(i)
+	}
+	j := &sched.Job{ID: 1, App: apps.Defaults()[1]}
+	return gate, j, cluster.Allocation{Nodes: nodes}
+}
+
+// BenchmarkGateDecision times one full steady-state gate decision —
+// freshness check, 300-second window aggregation over the 512-node
+// scope, MPI probes, feature assembly, ensemble inference — on the
+// incremental fast path versus the from-scratch reference path. The
+// fast path must report 0 allocs/op (`make bench-gate` enforces it).
+func BenchmarkGateDecision(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"fast", true}, {"reference", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			gate, j, alloc := newBenchGate(b, mode.fast)
+			j.Skips = 0
+			gate.Allow(j, alloc) // warm caches and reusable buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Skips = 0
+				gate.Allow(j, alloc)
+			}
+		})
+	}
+}
+
+// BenchmarkPredictProba times ensemble inference alone: the flattened
+// allocation-free layout versus the pointer-tree reference walk.
+func BenchmarkPredictProba(b *testing.B) {
+	model := gateBenchModel(b)
+	fp, ok := model.(mlkit.FastProbaPredictor)
+	if !ok {
+		b.Fatalf("%s does not implement FastProbaPredictor", model.Name())
+	}
+	rng := sim.NewSource(77).Derive("bench-sample")
+	sample := make([]float64, dataset.NumFeatures)
+	for i := range sample {
+		sample[i] = rng.Normal(0.5, 1.0)
+	}
+	b.Run("flat", func(b *testing.B) {
+		out := make([]float64, len(fp.Classes()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fp.PredictProbaInto(sample, out)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fp.PredictProba(sample)
+		}
+	})
 }

@@ -180,10 +180,16 @@ func Collect(cfg CollectConfig) (*CollectResult, error) {
 			}
 		}
 	}
-	// Prune telemetry history daily to bound memory over long campaigns.
-	for d := 1; d <= cfg.Days; d++ {
-		t := float64(d) * Day
-		eng.At(t, func() { m.Net.History().Prune(eng.Now() - 2*telemetry.WindowSeconds) })
+	// Prune telemetry history — and the sampler's row cache, which would
+	// otherwise accumulate a row per (node, tick) queried — hourly to
+	// bound memory over long campaigns.
+	for h := 1; float64(h)*3600 <= horizon; h++ {
+		t := float64(h) * 3600
+		eng.At(t, func() {
+			cut := eng.Now() - 2*telemetry.WindowSeconds
+			m.Net.History().Prune(cut)
+			m.Sampler.Prune(cut)
+		})
 	}
 
 	eng.RunUntil(horizon + 2*3600) // let the final runs drain

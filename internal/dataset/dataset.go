@@ -67,17 +67,23 @@ func FeatureNames() []string {
 // BuildFeatures assembles one feature vector from counter aggregates,
 // probe results, and the workload class, in FeatureNames order.
 func BuildFeatures(agg telemetry.Aggregates, probes simnet.ProbeResult, class apps.Class) []float64 {
-	f := make([]float64, 0, NumFeatures)
+	return BuildFeaturesInto(agg, probes, class, make([]float64, 0, NumFeatures))
+}
+
+// BuildFeaturesInto is BuildFeatures appending into out (pass a reused
+// buffer sliced to [:0]); with capacity NumFeatures it allocates nothing.
+func BuildFeaturesInto(agg telemetry.Aggregates, probes simnet.ProbeResult, class apps.Class, out []float64) []float64 {
+	f := out
 	for i := range agg.Min {
 		f = append(f, agg.Min[i], agg.Mean[i], agg.Max[i])
 	}
-	for _, waits := range [][]float64{probes.SendWait, probes.RecvWait, probes.AllReduceWait} {
-		f = append(f, stats.Min(waits), stats.Mean(waits), stats.Max(waits))
-	}
+	f = append(f, stats.Min(probes.SendWait), stats.Mean(probes.SendWait), stats.Max(probes.SendWait))
+	f = append(f, stats.Min(probes.RecvWait), stats.Mean(probes.RecvWait), stats.Max(probes.RecvWait))
+	f = append(f, stats.Min(probes.AllReduceWait), stats.Mean(probes.AllReduceWait), stats.Max(probes.AllReduceWait))
 	oh := class.OneHot()
 	f = append(f, oh[0], oh[1], oh[2])
-	if len(f) != NumFeatures {
-		panic(fmt.Sprintf("dataset: built %d features, want %d", len(f), NumFeatures))
+	if len(f)-len(out) != NumFeatures {
+		panic(fmt.Sprintf("dataset: built %d features, want %d", len(f)-len(out), NumFeatures))
 	}
 	return f
 }

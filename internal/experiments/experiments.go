@@ -21,6 +21,7 @@ import (
 	"rush/internal/parallel"
 	"rush/internal/sched"
 	"rush/internal/sim"
+	"rush/internal/telemetry"
 	"rush/internal/workload"
 )
 
@@ -201,6 +202,11 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	// Bound the trial's memory: periodically drop load epochs and cached
+	// sample rows older than every consumer's widest lookback (the gate
+	// aggregates one window and tolerates up to MaxStaleness of frozen
+	// history; triple the window covers both with slack).
+	m.StartPruning(telemetry.WindowSeconds, 3*telemetry.WindowSeconds)
 
 	var gate sched.Gate = sched.AlwaysStart{}
 	var rushGate *sched.RUSH

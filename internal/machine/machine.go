@@ -255,6 +255,36 @@ func (m *Machine) RunProbes(alloc cluster.Allocation) simnet.ProbeResult {
 	return simnet.RunProbes(m.Net, alloc, m.probes)
 }
 
+// RunProbesInto is RunProbes writing into res, reusing its slices. The
+// noise draw order is identical, so mixing the two forms never perturbs
+// the probe stream.
+func (m *Machine) RunProbesInto(alloc cluster.Allocation, res *simnet.ProbeResult) {
+	simnet.RunProbesInto(m.Net, alloc, m.probes, res)
+}
+
+// StartPruning schedules a recurring prune of the machine's load history
+// and the sampler's row cache: every interval simulated seconds, load
+// epochs and cached sample rows older than keep seconds before the
+// current instant are dropped, bounding memory over long experiments.
+// keep must cover the widest lookback any consumer performs — at least
+// telemetry.WindowSeconds for the sampler's aggregation window, plus
+// slack for staleness checks — since pruned history cannot be queried.
+// The prune events emit nothing and consume no randomness, so runs stay
+// deterministic and traces byte-identical.
+func (m *Machine) StartPruning(interval, keep float64) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("machine: non-positive prune interval %v", interval))
+	}
+	var prune func()
+	prune = func() {
+		cut := m.Eng.Now() - keep
+		m.Net.History().Prune(cut)
+		m.Sampler.Prune(cut)
+		m.Eng.Schedule(interval, prune)
+	}
+	m.Eng.Schedule(interval, prune)
+}
+
 // Noise drives the paper's synthetic all-to-all noise job: it occupies a
 // fixed set of nodes and cycles through phases of uniformly drawn network
 // load.

@@ -1,0 +1,312 @@
+package mlkit
+
+import "math"
+
+// This file is the flattened-inference fast path: after Fit or LoadModel,
+// tree-based models compile their pointer-linked nodes into a contiguous
+// struct-of-arrays layout that predicts without pointer chasing, and
+// every ensemble gains an allocation-free PredictProbaInto. The flat
+// layout is derived state — rebuilt from the canonical node slices on
+// load, never serialized — so model bytes are unchanged, and it is built
+// eagerly (not lazily) because trained models are shared across parallel
+// trial workers.
+
+// FastProbaPredictor is implemented by models whose probability inference
+// runs without heap allocation. The RUSH gate uses it when available; the
+// differential tests in flat_test.go pin the outputs to the reference
+// PredictProba/Predict bit for bit.
+type FastProbaPredictor interface {
+	ProbaPredictor
+	// PredictProbaInto writes the class distribution for sample into out
+	// (which must have length len(Classes())) and returns the predicted
+	// class label, identical to Predict(sample). It performs no heap
+	// allocations and, on a trained model, is safe for concurrent use.
+	PredictProbaInto(sample, out []float64) int
+}
+
+// flatTree is the struct-of-arrays compilation of a classification tree.
+// feature[i] < 0 marks a leaf whose class distribution is
+// probs[left[i] : left[i]+k].
+type flatTree struct {
+	feature     []int32
+	threshold   []float64
+	left        []int32
+	right       []int32
+	defaultLeft []bool
+	probs       []float64
+	k           int32
+}
+
+// compileTree flattens nodes; it returns nil (no fast path) for an empty
+// tree or a malformed payload whose leaf distributions are not k wide.
+func compileTree(nodes []treeNode, k int) *flatTree {
+	if len(nodes) == 0 || k == 0 {
+		return nil
+	}
+	f := &flatTree{
+		feature:     make([]int32, len(nodes)),
+		threshold:   make([]float64, len(nodes)),
+		left:        make([]int32, len(nodes)),
+		right:       make([]int32, len(nodes)),
+		defaultLeft: make([]bool, len(nodes)),
+		k:           int32(k),
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Probs != nil {
+			if len(n.Probs) != k {
+				return nil
+			}
+			f.feature[i] = -1
+			f.left[i] = int32(len(f.probs))
+			f.probs = append(f.probs, n.Probs...)
+			continue
+		}
+		f.feature[i] = int32(n.Feature)
+		f.threshold[i] = n.Threshold
+		f.left[i] = int32(n.Left)
+		f.right[i] = int32(n.Right)
+		f.defaultLeft[i] = n.DefaultLeft
+	}
+	return f
+}
+
+// leaf walks sample to its leaf and returns the offset of the leaf's
+// distribution within probs. Routing is identical to Tree.PredictProba:
+// v <= threshold goes left, NaN goes to the default child, else right.
+func (f *flatTree) leaf(sample []float64) int32 {
+	i := int32(0)
+	for {
+		ft := f.feature[i]
+		if ft < 0 {
+			return f.left[i]
+		}
+		v := sample[ft]
+		if v <= f.threshold[i] {
+			i = f.left[i]
+		} else if math.IsNaN(v) {
+			if f.defaultLeft[i] {
+				i = f.left[i]
+			} else {
+				i = f.right[i]
+			}
+		} else {
+			i = f.right[i]
+		}
+	}
+}
+
+func (t *Tree) compile() {
+	t.flat = compileTree(t.nodes, len(t.classes))
+}
+
+// predictFast is Predict without allocating.
+func (t *Tree) predictFast(sample []float64) int {
+	if t.flat == nil {
+		return t.Predict(sample)
+	}
+	off := t.flat.leaf(sample)
+	return t.classes[argmax(t.flat.probs[off:off+t.flat.k])]
+}
+
+// PredictProbaInto implements FastProbaPredictor.
+func (t *Tree) PredictProbaInto(sample, out []float64) int {
+	if t.flat == nil {
+		p := t.PredictProba(sample)
+		copy(out, p)
+		return t.classes[argmax(p)]
+	}
+	off := t.flat.leaf(sample)
+	probs := t.flat.probs[off : off+t.flat.k]
+	copy(out, probs)
+	return t.classes[argmax(probs)]
+}
+
+// flatRegTree is the struct-of-arrays compilation of a regression tree;
+// feature[i] < 0 marks a leaf whose prediction is threshold[i].
+type flatRegTree struct {
+	feature     []int32
+	threshold   []float64
+	left        []int32
+	right       []int32
+	defaultLeft []bool
+}
+
+func compileRegTree(nodes []regNode) *flatRegTree {
+	if len(nodes) == 0 {
+		return nil
+	}
+	f := &flatRegTree{
+		feature:     make([]int32, len(nodes)),
+		threshold:   make([]float64, len(nodes)),
+		left:        make([]int32, len(nodes)),
+		right:       make([]int32, len(nodes)),
+		defaultLeft: make([]bool, len(nodes)),
+	}
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Leaf {
+			f.feature[i] = -1
+			f.threshold[i] = n.Value
+			continue
+		}
+		f.feature[i] = int32(n.Feature)
+		f.threshold[i] = n.Threshold
+		f.left[i] = int32(n.Left)
+		f.right[i] = int32(n.Right)
+		f.defaultLeft[i] = n.DefaultLeft
+	}
+	return f
+}
+
+func (f *flatRegTree) predict(sample []float64) float64 {
+	i := int32(0)
+	for {
+		ft := f.feature[i]
+		if ft < 0 {
+			return f.threshold[i]
+		}
+		v := sample[ft]
+		if v <= f.threshold[i] {
+			i = f.left[i]
+		} else if math.IsNaN(v) {
+			if f.defaultLeft[i] {
+				i = f.left[i]
+			} else {
+				i = f.right[i]
+			}
+		} else {
+			i = f.right[i]
+		}
+	}
+}
+
+func (t *RegTree) compile() {
+	t.flat = compileRegTree(t.nodes)
+}
+
+// predictFast is Predict via the flat layout (identical value).
+func (t *RegTree) predictFast(sample []float64) float64 {
+	if t.flat == nil {
+		return t.Predict(sample)
+	}
+	return t.flat.predict(sample)
+}
+
+// compile precomputes each tree's class-position table so PredictProbaInto
+// needs no per-call map (a bootstrap resample can miss a rare class, so
+// tree class lists are mapped into the forest's).
+func (f *Forest) compile() {
+	pos := map[int]int32{}
+	for i, c := range f.classes {
+		pos[c] = int32(i)
+	}
+	f.treePos = make([][]int32, len(f.trees))
+	for ti, t := range f.trees {
+		tp := make([]int32, len(t.classes))
+		for i, c := range t.classes {
+			tp[i] = pos[c]
+		}
+		f.treePos[ti] = tp
+	}
+}
+
+// PredictProbaInto implements FastProbaPredictor. The vote accumulation
+// order (tree-major, tree-class order within a tree) matches PredictProba
+// exactly, so results are bit-identical.
+func (f *Forest) PredictProbaInto(sample, out []float64) int {
+	if len(f.trees) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	if f.treePos == nil {
+		p := f.PredictProba(sample)
+		copy(out, p)
+		return f.classes[argmax(p)]
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for ti, t := range f.trees {
+		tp := f.treePos[ti]
+		if t.flat != nil {
+			off := t.flat.leaf(sample)
+			for i, p := range tp {
+				out[p] += t.flat.probs[off+int32(i)]
+			}
+		} else {
+			probs := t.PredictProba(sample)
+			for i, p := range tp {
+				out[p] += probs[i]
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return f.classes[argmax(out)]
+}
+
+// PredictProbaInto implements FastProbaPredictor. The predicted class is
+// the argmax of the raw alpha votes — exactly Predict's rule — computed
+// before the votes are normalized into shares.
+func (a *AdaBoost) PredictProbaInto(sample, out []float64) int {
+	if len(a.alphas) == 0 {
+		panic("mlkit: predict before fit")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	var total float64
+	if a.cfg.Depth >= 2 && len(a.trees) > 0 {
+		for i, t := range a.trees {
+			out[t.predictFast(sample)] += a.alphas[i]
+			total += a.alphas[i]
+		}
+	} else {
+		for i, st := range a.stumps {
+			out[st.predict(sample)] += a.alphas[i]
+			total += a.alphas[i]
+		}
+	}
+	class := a.classes[argmax(out)]
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return class
+}
+
+// PredictProbaInto implements FastProbaPredictor. Score folds run in the
+// same head/tree order as score(), so probabilities are bit-identical to
+// PredictProba.
+func (g *GBM) PredictProbaInto(sample, out []float64) int {
+	if len(g.classes) == 1 {
+		out[0] = 1
+		return g.classes[0]
+	}
+	if len(g.classes) == 2 {
+		s := g.base[0]
+		for _, t := range g.ensembles[0] {
+			s += g.cfg.LearningRate * t.predictFast(sample)
+		}
+		p := sigmoid(s)
+		out[0], out[1] = 1-p, p
+		return g.classes[argmax(out)]
+	}
+	var total float64
+	for h, trees := range g.ensembles {
+		s := g.base[h]
+		for _, t := range trees {
+			s += g.cfg.LearningRate * t.predictFast(sample)
+		}
+		out[h] = sigmoid(s)
+		total += out[h]
+	}
+	if total > 0 {
+		for h := range out {
+			out[h] /= total
+		}
+	}
+	return g.classes[argmax(out)]
+}

@@ -51,6 +51,10 @@ type Forest struct {
 	trees     []*Tree
 	classes   []int
 	imp       []float64
+	// treePos[t][i] is where tree t's class i lands in the forest's class
+	// list — the fast path's precomputed replacement for the per-call map
+	// in PredictProba. Derived by compile, never serialized.
+	treePos [][]int32
 }
 
 // NewRandomForest returns a Random Forest classifier.
@@ -135,6 +139,7 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 			f.imp[i] /= total
 		}
 	}
+	f.compile()
 	return nil
 }
 

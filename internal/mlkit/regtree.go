@@ -14,6 +14,7 @@ type RegTree struct {
 	cfg       TreeConfig
 	nFeatures int
 	nodes     []regNode
+	flat      *flatRegTree // derived fast-path layout; rebuilt by compile, never serialized
 }
 
 type regNode struct {
@@ -53,6 +54,7 @@ func (t *RegTree) Fit(x [][]float64, targets []float64) error {
 	}
 	b := &regBuilder{t: t, x: x, y: targets, rng: sim.NewSource(t.cfg.Seed)}
 	b.build(samples, 1)
+	t.compile()
 	return nil
 }
 

@@ -80,7 +80,7 @@ func treeToPayload(t *Tree) treePayload {
 }
 
 func treeFromPayload(p treePayload) *Tree {
-	return &Tree{
+	t := &Tree{
 		cfg:       p.Config,
 		classes:   p.Classes,
 		nFeatures: p.NFeatures,
@@ -88,6 +88,8 @@ func treeFromPayload(p treePayload) *Tree {
 		imp:       p.Importances,
 		name:      p.Name,
 	}
+	t.compile()
+	return t
 }
 
 // SaveModel serializes a trained classifier to JSON. Supported concrete
@@ -179,6 +181,7 @@ func LoadModel(data []byte) (Classifier, error) {
 		for _, tp := range sm.Forest.Trees {
 			f.trees = append(f.trees, treeFromPayload(tp))
 		}
+		f.compile()
 		return f, nil
 	case "adaboost":
 		if sm.Ada == nil {
@@ -214,7 +217,9 @@ func LoadModel(data []byte) (Classifier, error) {
 		for _, head := range sm.GBM.Ensembles {
 			var trees []*RegTree
 			for _, tp := range head {
-				trees = append(trees, &RegTree{cfg: tp.Config, nFeatures: tp.NFeatures, nodes: tp.Nodes})
+				rt := &RegTree{cfg: tp.Config, nFeatures: tp.NFeatures, nodes: tp.Nodes}
+				rt.compile()
+				trees = append(trees, rt)
 			}
 			g.ensembles = append(g.ensembles, trees)
 		}

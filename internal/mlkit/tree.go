@@ -37,6 +37,7 @@ type Tree struct {
 	nodes     []treeNode
 	imp       []float64
 	name      string
+	flat      *flatTree // derived fast-path layout; rebuilt by compile, never serialized
 }
 
 type treeNode struct {
@@ -120,6 +121,7 @@ func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
 			t.imp[i] /= total
 		}
 	}
+	t.compile()
 	return nil
 }
 

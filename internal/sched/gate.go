@@ -9,6 +9,8 @@ import (
 	"rush/internal/machine"
 	"rush/internal/mlkit"
 	"rush/internal/obs"
+	"rush/internal/simnet"
+	"rush/internal/telemetry"
 )
 
 // RUSH is the paper's model-based gate (Algorithm 2): before a job
@@ -57,6 +59,14 @@ type RUSH struct {
 	// Breaker for the fail-open semantics.
 	Breaker *Breaker
 
+	// DisableFastPath routes LiveFeatures and decide through the
+	// allocating reference implementations: full window recompute
+	// (Sampler.AggregateRangeRef) and pointer-tree PredictProba. The
+	// decisions are bit-identical either way — pinned by the differential
+	// tests — so the toggle exists only for those tests and the
+	// before/after benchmark.
+	DisableFastPath bool
+
 	// Evaluations counts model invocations; Vetoes counts delays issued.
 	Evaluations int
 	Vetoes      int
@@ -70,6 +80,17 @@ type RUSH struct {
 
 	obs *obs.Observer
 	met gateMetrics
+
+	// Per-gate fast-path buffers, reused across decisions so a
+	// steady-state gate decision performs zero heap allocations. The
+	// feature vector LiveFeatures returns aliases featsBuf; see its doc
+	// for the reuse contract.
+	allNodes []cluster.NodeID
+	winAgg   *telemetry.WindowAgg
+	aggBuf   telemetry.Aggregates
+	probeBuf simnet.ProbeResult
+	featsBuf []float64
+	probsBuf []float64
 }
 
 // gateMetrics are the RUSH gate's pre-resolved metric handles; all nil
@@ -254,6 +275,24 @@ func nanFraction(feats []float64) float64 {
 // invoked — never only when tracing — so enabling a trace cannot perturb
 // a single decision.
 func (g *RUSH) decide(feats []float64) (veto bool, class int) {
+	if fp, ok := g.model.(mlkit.FastProbaPredictor); ok && !g.DisableFastPath {
+		classes := fp.Classes()
+		if cap(g.probsBuf) < len(classes) {
+			g.probsBuf = make([]float64, len(classes))
+		}
+		probs := g.probsBuf[:len(classes)]
+		class = fp.PredictProbaInto(feats, probs)
+		if g.ProbThreshold > 0 {
+			var mass float64
+			for i, c := range classes {
+				if g.VariationLabels[c] {
+					mass += probs[i]
+				}
+			}
+			return mass > g.ProbThreshold, class
+		}
+		return g.VariationLabels[class], class
+	}
 	class = g.model.Predict(feats)
 	if g.ProbThreshold > 0 {
 		if pp, ok := g.model.(mlkit.ProbaPredictor); ok {
@@ -275,16 +314,43 @@ func (g *RUSH) decide(feats []float64) (veto bool, class int) {
 // LiveFeatures assembles the 282-feature vector the model expects from
 // the current machine state: the five-minute counter aggregation over the
 // decision scope plus freshly run MPI probes on the tentative allocation.
+//
+// The returned slice is a per-gate buffer reused by the next LiveFeatures
+// or Allow call; callers that retain features across decisions must copy
+// them. The probe noise draw order is identical on the fast and reference
+// paths, so DisableFastPath never perturbs the rng stream.
 func (g *RUSH) LiveFeatures(alloc cluster.Allocation, class apps.Class) []float64 {
-	agg := g.m.Sampler.AggregateWindow(g.m.Net.History(), g.scopeNodes(alloc), g.m.Eng.Now())
-	probes := g.m.RunProbes(alloc)
-	return dataset.BuildFeatures(agg, probes, class)
+	now := g.m.Eng.Now()
+	if g.DisableFastPath {
+		agg := g.m.Sampler.AggregateRangeRef(g.m.Net.History(), g.scopeNodes(alloc), now-telemetry.WindowSeconds, now)
+		probes := g.m.RunProbes(alloc)
+		return dataset.BuildFeatures(agg, probes, class)
+	}
+	if g.AllNodesScope {
+		// The machine-wide scope is fixed, so a sliding-window aggregator
+		// amortizes each tick's node sweep across decisions.
+		if g.winAgg == nil {
+			g.winAgg = g.m.Sampler.NewWindowAgg(g.m.Net.History(), g.scopeNodes(alloc))
+		}
+		g.winAgg.AggregateInto(now, &g.aggBuf)
+	} else {
+		g.m.Sampler.AggregateWindowInto(g.m.Net.History(), alloc.Nodes, now, &g.aggBuf)
+	}
+	g.m.RunProbesInto(alloc, &g.probeBuf)
+	if g.featsBuf == nil {
+		g.featsBuf = make([]float64, 0, dataset.NumFeatures)
+	}
+	g.featsBuf = dataset.BuildFeaturesInto(g.aggBuf, g.probeBuf, class, g.featsBuf[:0])
+	return g.featsBuf
 }
 
 // scopeNodes returns the node set the gate's telemetry decisions cover.
 func (g *RUSH) scopeNodes(alloc cluster.Allocation) []cluster.NodeID {
 	if g.AllNodesScope {
-		return allMachineNodes(g.m.Topo.Nodes)
+		if g.allNodes == nil {
+			g.allNodes = allMachineNodes(g.m.Topo.Nodes)
+		}
+		return g.allNodes
 	}
 	return alloc.Nodes
 }

@@ -33,7 +33,9 @@ func trainedToyModel(t *testing.T, m *machine.Machine) mlkit.Classifier {
 		}
 		bg.Set(simnet.Contribution{PodNet: map[int]float64{0: load}})
 		m.Eng.RunUntil(m.Eng.Now() + 400)
-		x = append(x, gate.LiveFeatures(alloc, apps.NetworkIntensive))
+		// LiveFeatures returns a reused buffer; keep a copy per row.
+		feats := append([]float64(nil), gate.LiveFeatures(alloc, apps.NetworkIntensive)...)
+		x = append(x, feats)
 		y = append(y, label)
 	}
 	bg.Clear()

@@ -38,20 +38,35 @@ type ProbeResult struct {
 // under the current network state. The rng should be a stream derived for
 // probe noise so that probe draws do not perturb other components.
 func RunProbes(s *State, alloc cluster.Allocation, rng *sim.Source) ProbeResult {
+	var res ProbeResult
+	RunProbesInto(s, alloc, rng, &res)
+	return res
+}
+
+// RunProbesInto is RunProbes writing into res, reusing its slices when
+// they have capacity. The noise draw order (Send, Recv, AllReduce per
+// node, in allocation order) is identical to RunProbes, so the two are
+// interchangeable without perturbing the rng stream.
+func RunProbesInto(s *State, alloc cluster.Allocation, rng *sim.Source, res *ProbeResult) {
 	n := len(alloc.Nodes)
-	res := ProbeResult{
-		SendWait:      make([]float64, n),
-		RecvWait:      make([]float64, n),
-		AllReduceWait: make([]float64, n),
-	}
+	res.SendWait = resize(res.SendWait, n)
+	res.RecvWait = resize(res.RecvWait, n)
+	res.AllReduceWait = resize(res.AllReduceWait, n)
 	for i, node := range alloc.Nodes {
 		ov := s.NetOverload(s.topo.PodOf(node))
-		noise := func() float64 { return rng.LogNormal(0, probeNoiseSigma) }
-		res.SendWait[i] = probeSendBase * (1 + probeSendGain*ov) * noise()
-		res.RecvWait[i] = probeRecvBase * (1 + probeRecvGain*ov) * noise()
-		res.AllReduceWait[i] = probeAllReduceBase * (1 + probeAllReduceGain*ov) * noise()
+		res.SendWait[i] = probeSendBase * (1 + probeSendGain*ov) * rng.LogNormal(0, probeNoiseSigma)
+		res.RecvWait[i] = probeRecvBase * (1 + probeRecvGain*ov) * rng.LogNormal(0, probeNoiseSigma)
+		res.AllReduceWait[i] = probeAllReduceBase * (1 + probeAllReduceGain*ov) * rng.LogNormal(0, probeNoiseSigma)
 	}
-	return res
+}
+
+// resize returns a length-n slice, reusing buf's backing array when it is
+// large enough.
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
 }
 
 // ProbeIdleDuration returns the expected per-node probe duration on an

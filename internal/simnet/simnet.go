@@ -13,6 +13,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"rush/internal/cluster"
@@ -202,6 +203,18 @@ func (h *History) append(t float64, podNet []float64, core, fs float64) {
 // Len returns the number of recorded epochs.
 func (h *History) Len() int { return len(h.epochs) }
 
+// LastT returns the start time of the most recent epoch, or -Inf when no
+// epoch has been recorded. Epochs strictly older than LastT are final:
+// only the newest epoch can still be collapsed into by a same-instant
+// mutation, so values derived from loads at times before LastT may be
+// cached safely.
+func (h *History) LastT() float64 {
+	if len(h.epochs) == 0 {
+		return math.Inf(-1)
+	}
+	return h.epochs[len(h.epochs)-1].T
+}
+
 // Slice is one piece of a window query: constant load over [T0, T1).
 type Slice struct {
 	T0, T1 float64
@@ -213,15 +226,23 @@ type Slice struct {
 // Window returns the sequence of constant-load slices covering [t0, t1).
 // Requests before the first recorded epoch are clamped to it.
 func (h *History) Window(t0, t1 float64) []Slice {
+	return h.WindowInto(t0, t1, nil)
+}
+
+// WindowInto is Window appending into buf (pass buf[:0] to reuse its
+// backing array), so hot-path callers can query windows without
+// allocating. The returned slices alias the history's epochs; they stay
+// valid until the next Prune.
+func (h *History) WindowInto(t0, t1 float64, buf []Slice) []Slice {
+	out := buf
 	if t1 <= t0 || len(h.epochs) == 0 {
-		return nil
+		return out
 	}
 	// First epoch whose start is > t0, minus one, is the epoch containing t0.
 	i := sort.Search(len(h.epochs), func(i int) bool { return h.epochs[i].T > t0 })
 	if i > 0 {
 		i--
 	}
-	var out []Slice
 	for ; i < len(h.epochs); i++ {
 		e := h.epochs[i]
 		start := e.T

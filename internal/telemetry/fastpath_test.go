@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"rush/internal/cluster"
+	"rush/internal/sim"
+	"rush/internal/simnet"
+)
+
+// testFaults is a pure-hash fault model for differential tests: whole
+// tables drop with probability dropP, and nodes freeze for spans of
+// freezeSpan ticks with probability freezeP per span.
+type testFaults struct {
+	src        *sim.Source
+	dropP      float64
+	freezeP    float64
+	freezeSpan int64
+}
+
+func (f testFaults) Dropped(table string, node cluster.NodeID, tick int64) bool {
+	return f.src.HashUnit(uint64(len(table)), uint64(table[0]), uint64(node)+13, uint64(tick)+101) < f.dropP
+}
+
+func (f testFaults) SampleTick(node cluster.NodeID, tick int64) int64 {
+	if tick < 0 {
+		return tick
+	}
+	span := tick / f.freezeSpan
+	if f.src.HashUnit(uint64(node)+7, uint64(span)+3) < f.freezeP {
+		return span * f.freezeSpan // frozen since the span start
+	}
+	return tick
+}
+
+// sameAggregates compares two aggregate sets bit-for-bit (NaN == NaN).
+func sameAggregates(t *testing.T, label string, a, b Aggregates) {
+	t.Helper()
+	cmp := func(name string, x, y []float64) {
+		t.Helper()
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s length %d vs %d", label, name, len(x), len(y))
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				t.Fatalf("%s: %s[%d] = %v (0x%x) vs %v (0x%x)",
+					label, name, i, x[i], math.Float64bits(x[i]), y[i], math.Float64bits(y[i]))
+			}
+		}
+	}
+	cmp("Min", a.Min, b.Min)
+	cmp("Mean", a.Mean, b.Mean)
+	cmp("Max", a.Max, b.Max)
+}
+
+// scrambleLoad applies a deterministic pseudo-random load mutation.
+func scrambleLoad(st *simnet.State, rng *sim.Source, step int) simnet.Contribution {
+	c := simnet.Contribution{
+		PodNet: map[int]float64{step % 4: rng.Uniform(0, 1.2)},
+		FS:     rng.Uniform(0, 0.8),
+	}
+	st.Apply(c)
+	return c
+}
+
+// TestFastAggregationMatchesReference is the tentpole differential
+// property test: over several seeds, with and without fault injection,
+// the cached fast path (AggregateRangeInto) must be bit-identical to the
+// from-scratch reference (AggregateRangeRef) for a mix of sliding,
+// overlapping, and repeated windows interleaved with load changes.
+func TestFastAggregationMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, faulted := range []bool{false, true} {
+			now := new(float64)
+			st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
+			if faulted {
+				sampler.SetFaults(testFaults{
+					src:        sim.NewSource(seed).Derive("faults"),
+					dropP:      0.3,
+					freezeP:    0.25,
+					freezeSpan: 7,
+				})
+			}
+			rng := sim.NewSource(seed).Derive("loads")
+			nodes := []cluster.NodeID{0, 1, 5, 9, 17, 33, 60}
+
+			var prev simnet.Contribution
+			for step := 0; step < 30; step++ {
+				// Mutate load at the present, then query windows ending
+				// at or before now (the sampler's contract).
+				st.Remove(prev)
+				prev = scrambleLoad(st, rng, step)
+				*now += rng.Uniform(10, 120)
+
+				t1 := *now
+				t0 := t1 - WindowSeconds
+				if step%3 == 2 {
+					// Occasionally a shorter or offset window.
+					t1 -= rng.Uniform(0, 60)
+					t0 = t1 - rng.Uniform(5, WindowSeconds)
+				}
+				fast := sampler.AggregateRange(st.History(), nodes, t0, t1)
+				ref := sampler.AggregateRangeRef(st.History(), nodes, t0, t1)
+				sameAggregates(t, "window", fast, ref)
+
+				// Re-query the same window: fully cached result.
+				again := sampler.AggregateRange(st.History(), nodes, t0, t1)
+				sameAggregates(t, "requery", again, ref)
+			}
+			if sampler.CachedRows() == 0 {
+				t.Fatal("row cache never populated")
+			}
+		}
+	}
+}
+
+// TestWindowAggMatchesReference slides a WindowAgg forward through load
+// changes and fault injection and checks every result bit-identical to
+// the from-scratch reference over the same scope.
+func TestWindowAggMatchesReference(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		now := new(float64)
+		st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
+		if faulted {
+			sampler.SetFaults(testFaults{
+				src:        sim.NewSource(5).Derive("faults"),
+				dropP:      0.25,
+				freezeP:    0.3,
+				freezeSpan: 9,
+			})
+		}
+		rng := sim.NewSource(21).Derive("loads")
+		nodes := AllNodes(testTopo()) // machine-wide scope, like the gate's AllNodesScope
+		wa := sampler.NewWindowAgg(st.History(), nodes)
+
+		var prev simnet.Contribution
+		for step := 0; step < 40; step++ {
+			st.Remove(prev)
+			prev = scrambleLoad(st, rng, step)
+			// Mostly small advances (partial reuse), sometimes a jump.
+			if step%7 == 6 {
+				*now += rng.Uniform(WindowSeconds, 2*WindowSeconds)
+			} else {
+				*now += rng.Uniform(5, 45)
+			}
+			got := wa.Aggregate(*now)
+			want := sampler.AggregateRangeRef(st.History(), nodes, *now-WindowSeconds, *now)
+			sameAggregates(t, "sliding", got, want)
+		}
+	}
+}
+
+// TestWindowAggSurvivesFaultSwap checks that swapping the fault model
+// invalidates a WindowAgg's cached partials (results keep matching the
+// reference after SetFaults).
+func TestWindowAggSurvivesFaultSwap(t *testing.T) {
+	now := new(float64)
+	st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+	wa := sampler.NewWindowAgg(st.History(), nodes)
+
+	*now = 50
+	st.Apply(simnet.Contribution{PodNet: map[int]float64{0: 0.9}})
+	*now = 600
+	sameAggregates(t, "clean", wa.Aggregate(*now),
+		sampler.AggregateRangeRef(st.History(), nodes, *now-WindowSeconds, *now))
+
+	sampler.SetFaults(testFaults{src: sim.NewSource(9), dropP: 0.5, freezeP: 0.5, freezeSpan: 5})
+	sameAggregates(t, "faulted", wa.Aggregate(*now),
+		sampler.AggregateRangeRef(st.History(), nodes, *now-WindowSeconds, *now))
+
+	sampler.SetFaults(nil)
+	sameAggregates(t, "healed", wa.Aggregate(*now),
+		sampler.AggregateRangeRef(st.History(), nodes, *now-WindowSeconds, *now))
+}
+
+// TestSamplerPrune checks pruning evicts old rows, keeps recent ones, and
+// leaves in-window aggregation bit-identical to the reference.
+func TestSamplerPrune(t *testing.T) {
+	now := new(float64)
+	st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+
+	*now = 100
+	st.Apply(simnet.Contribution{PodNet: map[int]float64{0: 0.5}})
+	for _, t1 := range []float64{400, 700, 1000, 1300} {
+		*now = t1
+		sampler.AggregateWindow(st.History(), nodes, t1)
+	}
+	before := sampler.CachedRows()
+	if before == 0 {
+		t.Fatal("no rows cached")
+	}
+	cut := 1300 - WindowSeconds
+	st.History().Prune(cut)
+	sampler.Prune(cut)
+	after := sampler.CachedRows()
+	if after >= before {
+		t.Fatalf("prune kept %d of %d rows", after, before)
+	}
+	fast := sampler.AggregateWindow(st.History(), nodes, 1300)
+	ref := sampler.AggregateRangeRef(st.History(), nodes, 1300-WindowSeconds, 1300)
+	sameAggregates(t, "post-prune", fast, ref)
+}
+
+// TestAggregationSteadyStateZeroAllocs pins the fast path's allocation
+// contract: once warm, window aggregation (direct and sliding),
+// FreshnessAge, and probe-free feature assembly allocate nothing.
+func TestAggregationSteadyStateZeroAllocs(t *testing.T) {
+	now := new(float64)
+	st, err := simnet.NewState(testTopo(), func() float64 { return *now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewSampler(testTopo(), sim.NewSource(11).Derive("telemetry"))
+	nodes := AllNodes(testTopo())
+	wa := sampler.NewWindowAgg(st.History(), nodes)
+
+	*now = 100
+	st.Apply(simnet.Contribution{PodNet: map[int]float64{0: 0.7}, FS: 0.2})
+	*now = 900
+
+	var agg Aggregates
+	sampler.AggregateWindowInto(st.History(), nodes, *now, &agg) // warm caches and buffers
+	wa.AggregateInto(*now, &agg)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		sampler.AggregateWindowInto(st.History(), nodes, *now, &agg)
+	}); allocs != 0 {
+		t.Fatalf("AggregateWindowInto allocated %.1f times per run; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		wa.AggregateInto(*now, &agg)
+	}); allocs != 0 {
+		t.Fatalf("WindowAgg.AggregateInto allocated %.1f times per run; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		sampler.FreshnessAge(nodes, *now)
+	}); allocs != 0 {
+		t.Fatalf("FreshnessAge allocated %.1f times per run; want 0", allocs)
+	}
+}

@@ -43,21 +43,108 @@ type FaultModel interface {
 }
 
 // Sampler synthesizes counter samples from the simulator's load history.
+//
+// Aggregation queries are memoized: each computed (node, tick) sample row
+// is cached, so overlapping and sliding windows recompute only the rows
+// they have not seen (see rowFor for the exact reuse conditions). The
+// cache relies on windows never extending beyond the current simulated
+// instant — load history only ever mutates at the present, so every
+// sample inside a past window is final. Callers must therefore pass
+// t1 <= now; sampling the future would be meaningless anyway.
 type Sampler struct {
 	topo   cluster.Topology
 	schema []Counter
 	rng    *sim.Source
 	faults FaultModel
+	tables []string
+
+	// Row cache (see rowFor): rowIdx maps (node, tick) to an index into
+	// the rows arena. cacheHist guards against a sampler being pointed at
+	// a different history between queries.
+	cacheHist *simnet.History
+	rowIdx    map[rowKey]int32
+	rows      []cachedRow
+	scratch   cachedRow
+
+	// Reusable scratch for the allocation-free aggregation path.
+	capBuf    []cluster.NodeID
+	sliceBuf  []simnet.Slice
+	tickSum   []float64
+	tickCount []int
+	counts    []int
+}
+
+type rowKey struct {
+	node cluster.NodeID
+	tick int64
+}
+
+// cachedRow is one (node, tick) sample row: every counter's value at that
+// tick, NaN where the table's sample was dropped. effT is the instant
+// whose latent loads the values reflect — the tick's own time normally,
+// an earlier one while the node's counters are frozen.
+type cachedRow struct {
+	node cluster.NodeID
+	tick int64
+	effT float64
+	vals [NumCounters]float64
 }
 
 // NewSampler returns a sampler over topo whose noise derives from rng
 // (use a dedicated child stream, e.g. root.Derive("telemetry")).
 func NewSampler(topo cluster.Topology, rng *sim.Source) *Sampler {
-	return &Sampler{topo: topo, schema: Schema(), rng: rng}
+	s := &Sampler{topo: topo, schema: Schema(), rng: rng, rowIdx: map[rowKey]int32{}}
+	for i := range s.schema {
+		if len(s.tables) == 0 || s.tables[len(s.tables)-1] != s.schema[i].Table {
+			s.tables = append(s.tables, s.schema[i].Table)
+		}
+	}
+	n := len(s.schema)
+	s.tickSum = make([]float64, n)
+	s.tickCount = make([]int, n)
+	s.counts = make([]int, n)
+	return s
 }
 
-// SetFaults installs a fault model (nil restores the healthy stream).
-func (s *Sampler) SetFaults(f FaultModel) { s.faults = f }
+// SetFaults installs a fault model (nil restores the healthy stream). The
+// row cache is flushed: cached rows are only valid under the fault model
+// that produced them.
+func (s *Sampler) SetFaults(f FaultModel) {
+	s.faults = f
+	s.flushCache()
+}
+
+func (s *Sampler) flushCache() {
+	clear(s.rowIdx)
+	s.rows = s.rows[:0]
+}
+
+// Prune evicts cached sample rows for ticks before t. Call it alongside
+// History.Prune with the same cutoff; as with the history, t must trail
+// the oldest window any future query will ask for.
+func (s *Sampler) Prune(t float64) {
+	if len(s.rows) == 0 {
+		return
+	}
+	dst := 0
+	for i := range s.rows {
+		r := &s.rows[i]
+		if float64(r.tick)*SamplePeriod < t {
+			delete(s.rowIdx, rowKey{node: r.node, tick: r.tick})
+			continue
+		}
+		if dst != i {
+			s.rows[dst] = s.rows[i]
+			s.rowIdx[rowKey{node: r.node, tick: r.tick}] = int32(dst)
+		}
+		dst++
+	}
+	s.rows = s.rows[:dst]
+}
+
+// CachedRows returns the number of (node, tick) sample rows currently
+// memoized (observability and test hook).
+func (s *Sampler) CachedRows() int { return len(s.rows) }
 
 // Schema returns the sampler's counter schema.
 func (s *Sampler) Schema() []Counter { return s.schema }
@@ -117,92 +204,204 @@ func (s *Sampler) sampleValue(c *Counter, ci int, node cluster.NodeID, tick int6
 	return v
 }
 
+// computeRow fills r with the full sample row of (node, tick): every
+// counter's value (NaN for dropped tables) plus the effective instant the
+// values reflect. tickT is the tick's (possibly window-clamped) sample
+// time and tickNet/tickFS the latent loads at it, hoisted by the caller
+// so a tick's loads are resolved once per tick rather than once per node.
+func (s *Sampler) computeRow(slices []simnet.Slice, node cluster.NodeID, tick int64, tickT float64, tickNet []float64, tickFS float64, r *cachedRow) {
+	effTick, effNet, effFS, effT := tick, tickNet, tickFS, tickT
+	if s.faults != nil {
+		// Frozen counters repeat an earlier tick's sample: the value
+		// reflects the loads at the freeze instant (clamped to the
+		// history the window fetched) and its noise stays constant.
+		if et := s.faults.SampleTick(node, tick); et < tick {
+			effTick = et
+			effT = float64(et) * SamplePeriod
+			effNet, effFS = loadsAt(slices, effT)
+		}
+	}
+	pod := s.topo.PodOf(node)
+	var net float64
+	if pod < len(effNet) {
+		net = effNet[pod]
+	}
+	r.node, r.tick, r.effT = node, tick, effT
+	lastTable, lastDropped := "", false
+	for ci := range s.schema {
+		if s.faults != nil {
+			// Whole tables drop together (one lost LDMS message per
+			// table); memoize across the contiguous block.
+			if tb := s.schema[ci].Table; tb != lastTable {
+				lastTable = tb
+				lastDropped = s.faults.Dropped(tb, node, tick)
+			}
+			if lastDropped {
+				r.vals[ci] = math.NaN()
+				continue
+			}
+		}
+		r.vals[ci] = s.sampleValue(&s.schema[ci], ci, node, effTick, net, effFS)
+	}
+}
+
+// rowFor returns the sample row of (node, tick) for a window starting at
+// t0, from the cache when possible. A cached row is reusable only when
+// its effective instant lies inside the querying window (effT >= t0):
+// frozen rows whose source instant precedes the window are computed from
+// loads clamped to the window's first slice, which makes their values
+// window-dependent — those are recomputed per query and never poison the
+// cache. Rows are cacheable under the sampler-wide contract that windows
+// end at or before the current simulated instant, which makes every
+// in-window load epoch final.
+func (s *Sampler) rowFor(hist *simnet.History, slices []simnet.Slice, t0, tickT float64, tickNet []float64, tickFS float64, node cluster.NodeID, tick int64) *cachedRow {
+	if s.cacheHist != hist {
+		s.flushCache()
+		s.cacheHist = hist
+	}
+	key := rowKey{node: node, tick: tick}
+	if idx, ok := s.rowIdx[key]; ok {
+		if r := &s.rows[idx]; r.effT >= t0 {
+			return r
+		}
+		s.computeRow(slices, node, tick, tickT, tickNet, tickFS, &s.scratch)
+		return &s.scratch
+	}
+	s.computeRow(slices, node, tick, tickT, tickNet, tickFS, &s.scratch)
+	if s.scratch.effT >= t0 {
+		s.rows = append(s.rows, s.scratch)
+		s.rowIdx[key] = int32(len(s.rows) - 1)
+		return &s.rows[len(s.rows)-1]
+	}
+	return &s.scratch
+}
+
 // AggregateWindow computes min/mean/max of every counter over the window
 // [t1-WindowSeconds, t1) across the given nodes, reading latent loads
 // from hist. An empty node list or a window with no aligned ticks falls
 // back to a single sample at the window end so callers always get a
-// complete feature vector.
+// complete feature vector. t1 must not exceed the current simulated
+// instant (see Sampler).
 func (s *Sampler) AggregateWindow(hist *simnet.History, nodes []cluster.NodeID, t1 float64) Aggregates {
 	return s.AggregateRange(hist, nodes, t1-WindowSeconds, t1)
 }
 
 // AggregateRange is AggregateWindow over an explicit [t0, t1) interval.
 func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t0, t1 float64) Aggregates {
-	n := len(s.schema)
+	var agg Aggregates
+	s.AggregateRangeInto(hist, nodes, t0, t1, &agg)
+	return agg
+}
+
+// AggregateWindowInto is AggregateWindow writing into out, reusing its
+// slices. Together with the row cache this makes steady-state window
+// aggregation allocation-free.
+func (s *Sampler) AggregateWindowInto(hist *simnet.History, nodes []cluster.NodeID, t1 float64, out *Aggregates) {
+	s.AggregateRangeInto(hist, nodes, t1-WindowSeconds, t1, out)
+}
+
+// AggregateRangeInto is AggregateRange writing into out, reusing its
+// slices (the fast path: cached rows, no allocations in steady state).
+func (s *Sampler) AggregateRangeInto(hist *simnet.History, nodes []cluster.NodeID, t0, t1 float64, out *Aggregates) {
+	s.aggregateInto(hist, nodes, t0, t1, out, true)
+}
+
+// AggregateRangeRef is AggregateRange bypassing the row cache: every
+// sample is recomputed from the load history. It exists as the reference
+// implementation for the differential tests and benchmarks; the fast path
+// must be bit-identical to it.
+func (s *Sampler) AggregateRangeRef(hist *simnet.History, nodes []cluster.NodeID, t0, t1 float64) Aggregates {
 	agg := Aggregates{
-		Min:  make([]float64, n),
-		Mean: make([]float64, n),
-		Max:  make([]float64, n),
+		Min:  make([]float64, len(s.schema)),
+		Mean: make([]float64, len(s.schema)),
+		Max:  make([]float64, len(s.schema)),
 	}
-	for i := range agg.Min {
-		agg.Min[i] = math.Inf(1)
-		agg.Max[i] = math.Inf(-1)
+	s.aggregateInto(hist, nodes, t0, t1, &agg, false)
+	return agg
+}
+
+// aggregateInto is the shared aggregation loop. The mean is accumulated
+// in a two-level fold — node-major partial sums per tick, folded into the
+// running total at the end of each tick — so that the sliding-window
+// aggregator (WindowAgg), which caches per-tick partials, combines to
+// bit-identical results. Any change to the fold order here must be
+// mirrored in WindowAgg.AggregateInto.
+func (s *Sampler) aggregateInto(hist *simnet.History, nodes []cluster.NodeID, t0, t1 float64, out *Aggregates, useCache bool) {
+	n := len(s.schema)
+	out.Min = resizeFloats(out.Min, n)
+	out.Mean = resizeFloats(out.Mean, n)
+	out.Max = resizeFloats(out.Max, n)
+	for i := 0; i < n; i++ {
+		out.Min[i] = math.Inf(1)
+		out.Mean[i] = 0
+		out.Max[i] = math.Inf(-1)
 	}
-	nodes = capNodes(nodes)
+	nodes = s.capNodesInto(nodes)
 	if len(nodes) == 0 {
-		return agg
+		return
 	}
 
-	ticks := alignedTicks(t0, t1)
-	slices := hist.Window(t0, t1)
-	counts := make([]int, n)
-	for _, tick := range ticks {
-		t := float64(tick) * SamplePeriod
-		if t < t0 {
-			t = t0 // fallback tick for sub-period windows
+	first, last := tickBounds(t0, t1)
+	fallback := false
+	if last < first {
+		// A window shorter than one period still yields one sample (the
+		// tick containing t0) so feature vectors are never empty.
+		first = int64(math.Floor(t0 / SamplePeriod))
+		last = first
+		fallback = true
+	}
+	s.sliceBuf = hist.WindowInto(t0, t1, s.sliceBuf[:0])
+	counts := s.counts
+	for i := 0; i < n; i++ {
+		counts[i] = 0
+	}
+	for tick := first; tick <= last; tick++ {
+		tickT := float64(tick) * SamplePeriod
+		if tickT < t0 {
+			tickT = t0 // fallback tick of a sub-period window
 		}
-		netByPod, fs := loadsAt(slices, t)
+		tickNet, tickFS := loadsAt(s.sliceBuf, tickT)
+		for i := 0; i < n; i++ {
+			s.tickSum[i] = 0
+			s.tickCount[i] = 0
+		}
 		for _, node := range nodes {
-			// Frozen counters repeat an earlier tick's sample: the value
-			// reflects the loads at the freeze instant (clamped to the
-			// history the window fetched) and its noise stays constant.
-			effTick, effNet, effFS := tick, netByPod, fs
-			if s.faults != nil {
-				if et := s.faults.SampleTick(node, tick); et < tick {
-					effTick = et
-					effNet, effFS = loadsAt(slices, float64(et)*SamplePeriod)
-				}
+			var row *cachedRow
+			if useCache && !fallback {
+				row = s.rowFor(hist, s.sliceBuf, t0, tickT, tickNet, tickFS, node, tick)
+			} else {
+				s.computeRow(s.sliceBuf, node, tick, tickT, tickNet, tickFS, &s.scratch)
+				row = &s.scratch
 			}
-			pod := s.topo.PodOf(node)
-			var net float64
-			if pod < len(effNet) {
-				net = effNet[pod]
+			for ci := 0; ci < n; ci++ {
+				v := row.vals[ci]
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < out.Min[ci] {
+					out.Min[ci] = v
+				}
+				if v > out.Max[ci] {
+					out.Max[ci] = v
+				}
+				s.tickSum[ci] += v
+				s.tickCount[ci]++
 			}
-			lastTable, lastDropped := "", false
-			for ci := range s.schema {
-				if s.faults != nil {
-					// Whole tables drop together (one lost LDMS message
-					// per table); memoize across the contiguous block.
-					if tb := s.schema[ci].Table; tb != lastTable {
-						lastTable = tb
-						lastDropped = s.faults.Dropped(tb, node, tick)
-					}
-					if lastDropped {
-						continue
-					}
-				}
-				v := s.sampleValue(&s.schema[ci], ci, node, effTick, net, effFS)
-				if v < agg.Min[ci] {
-					agg.Min[ci] = v
-				}
-				if v > agg.Max[ci] {
-					agg.Max[ci] = v
-				}
-				agg.Mean[ci] += v
-				counts[ci]++
-			}
+		}
+		for ci := 0; ci < n; ci++ {
+			out.Mean[ci] += s.tickSum[ci]
+			counts[ci] += s.tickCount[ci]
 		}
 	}
-	for i := range agg.Mean {
-		if counts[i] == 0 {
+	for ci := 0; ci < n; ci++ {
+		if counts[ci] == 0 {
 			// Every sample of this counter was dropped: the feature is
 			// missing, not zero.
-			agg.Min[i], agg.Mean[i], agg.Max[i] = math.NaN(), math.NaN(), math.NaN()
+			out.Min[ci], out.Mean[ci], out.Max[ci] = math.NaN(), math.NaN(), math.NaN()
 			continue
 		}
-		agg.Mean[i] /= float64(counts[i])
+		out.Mean[ci] /= float64(counts[ci])
 	}
-	return agg
 }
 
 // FreshnessAge reports how stale the counter stream feeding a decision at
@@ -210,22 +409,26 @@ func (s *Sampler) AggregateRange(hist *simnet.History, nodes []cluster.NodeID, t
 // actually arrived for the given nodes within the standard aggregation
 // window — where a frozen sample counts with the age of the instant its
 // value reflects. With no fault model installed the age is at most one
-// sample period. +Inf means no sample in the window arrived at all.
+// sample period. +Inf means no sample in the window arrived at all. It
+// performs no heap allocations.
 func (s *Sampler) FreshnessAge(nodes []cluster.NodeID, t1 float64) float64 {
-	nodes = capNodes(nodes)
+	nodes = s.capNodesInto(nodes)
 	if len(nodes) == 0 {
 		return math.Inf(1)
 	}
-	ticks := alignedTicks(t1-WindowSeconds, t1)
-	if s.faults == nil {
-		return t1 - float64(ticks[len(ticks)-1])*SamplePeriod
+	first, last := tickBounds(t1-WindowSeconds, t1)
+	if last < first {
+		first = int64(math.Floor((t1 - WindowSeconds) / SamplePeriod))
+		last = first
 	}
-	tables := s.tables()
+	if s.faults == nil {
+		return t1 - float64(last)*SamplePeriod
+	}
 	newest := math.Inf(-1)
-	for _, tick := range ticks {
+	for tick := first; tick <= last; tick++ {
 		for _, node := range nodes {
 			eff := s.faults.SampleTick(node, tick)
-			for _, tb := range tables {
+			for _, tb := range s.tables {
 				if s.faults.Dropped(tb, node, tick) {
 					continue
 				}
@@ -242,23 +445,20 @@ func (s *Sampler) FreshnessAge(nodes []cluster.NodeID, t1 float64) float64 {
 	return t1 - newest
 }
 
-// tables returns the distinct table names in schema order.
-func (s *Sampler) tables() []string {
-	var out []string
-	for i := range s.schema {
-		if len(out) == 0 || out[len(out)-1] != s.schema[i].Table {
-			out = append(out, s.schema[i].Table)
-		}
-	}
-	return out
+// tickBounds returns the first and last global tick indices whose sample
+// times fall in [t0, t1); last < first means the window is shorter than
+// one period and callers should fall back to the tick containing t0.
+func tickBounds(t0, t1 float64) (first, last int64) {
+	first = int64(math.Ceil(t0 / SamplePeriod))
+	last = int64(math.Ceil(t1/SamplePeriod)) - 1
+	return first, last
 }
 
 // alignedTicks returns the global tick indices whose sample times fall in
 // [t0, t1). A window shorter than one period still yields one tick (the
 // one containing t0) so feature vectors are never empty.
 func alignedTicks(t0, t1 float64) []int64 {
-	first := int64(math.Ceil(t0 / SamplePeriod))
-	last := int64(math.Ceil(t1/SamplePeriod)) - 1
+	first, last := tickBounds(t0, t1)
 	if last < first {
 		return []int64{int64(math.Floor(t0 / SamplePeriod))}
 	}
@@ -293,12 +493,38 @@ func capNodes(nodes []cluster.NodeID) []cluster.NodeID {
 	if len(nodes) <= maxScopeNodes {
 		return nodes
 	}
-	stride := float64(len(nodes)) / float64(maxScopeNodes)
 	out := make([]cluster.NodeID, 0, maxScopeNodes)
+	return appendCapped(out, nodes)
+}
+
+// capNodesInto is capNodes reusing the sampler's scratch buffer; the
+// result is valid until the next capNodesInto call.
+func (s *Sampler) capNodesInto(nodes []cluster.NodeID) []cluster.NodeID {
+	if len(nodes) <= maxScopeNodes {
+		return nodes
+	}
+	if s.capBuf == nil {
+		s.capBuf = make([]cluster.NodeID, 0, maxScopeNodes)
+	}
+	s.capBuf = appendCapped(s.capBuf[:0], nodes)
+	return s.capBuf
+}
+
+func appendCapped(out, nodes []cluster.NodeID) []cluster.NodeID {
+	stride := float64(len(nodes)) / float64(maxScopeNodes)
 	for i := 0; i < maxScopeNodes; i++ {
 		out = append(out, nodes[int(float64(i)*stride)])
 	}
 	return out
+}
+
+// resizeFloats returns a length-n slice, reusing buf's backing array when
+// it is large enough.
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
 }
 
 // AllNodes returns the node IDs of the whole machine, for machine-wide

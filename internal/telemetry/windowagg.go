@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"math"
+
+	"rush/internal/cluster"
+	"rush/internal/simnet"
+)
+
+// WindowTicks is the number of aligned sample ticks in the standard
+// aggregation window.
+const WindowTicks = int(WindowSeconds / SamplePeriod)
+
+// WindowAgg incrementally aggregates the standard five-minute window over
+// a fixed node scope. It keeps per-tick partial aggregates (node-major
+// min/max/sum/count per counter) in a ring keyed by tick index, so
+// advancing the window end by Δ ticks recomputes only the Δ new ticks;
+// the rest combine from cached partials. Combined results are
+// bit-identical to Sampler.AggregateWindow over the same scope: both use
+// the same two-level mean fold (see Sampler.aggregateInto).
+//
+// A WindowAgg is bound to one sampler, one history, and one node scope;
+// it inherits the sampler-wide contract that queried windows end at or
+// before the current simulated instant. It is not safe for concurrent
+// use, matching the sampler itself.
+type WindowAgg struct {
+	s        *Sampler
+	hist     *simnet.History
+	nodes    []cluster.NodeID
+	faults   FaultModel // fault model the cached partials were computed under
+	partials []tickPartial
+	counts   []int
+	sliceBuf []simnet.Slice
+}
+
+// tickPartial is the aggregate of one tick across the scope's nodes.
+// minEffT is the earliest effective sample instant among the scope's
+// rows at this tick: the partial is only reusable for windows whose start
+// does not exceed it (frozen rows older than the window start are
+// window-clamped and must be recomputed, mirroring rowFor).
+type tickPartial struct {
+	tick    int64
+	minEffT float64
+	set     bool
+	min     [NumCounters]float64
+	max     [NumCounters]float64
+	sum     [NumCounters]float64
+	count   [NumCounters]int32
+}
+
+// NewWindowAgg returns a sliding aggregator over the given scope (capped
+// to maxScopeNodes exactly like direct aggregation; the capped scope is
+// copied, so the caller may reuse nodes).
+func (s *Sampler) NewWindowAgg(hist *simnet.History, nodes []cluster.NodeID) *WindowAgg {
+	return &WindowAgg{
+		s:        s,
+		hist:     hist,
+		nodes:    append([]cluster.NodeID(nil), capNodes(nodes)...),
+		faults:   s.faults,
+		counts:   make([]int, len(s.schema)),
+		partials: make([]tickPartial, WindowTicks),
+	}
+}
+
+// Aggregate is AggregateInto returning a fresh Aggregates value.
+func (w *WindowAgg) Aggregate(t1 float64) Aggregates {
+	var out Aggregates
+	w.AggregateInto(t1, &out)
+	return out
+}
+
+// AggregateInto computes min/mean/max of every counter over the window
+// [t1-WindowSeconds, t1) across the aggregator's scope, writing into out
+// (reusing its slices). Steady-state calls perform no heap allocations.
+func (w *WindowAgg) AggregateInto(t1 float64, out *Aggregates) {
+	s := w.s
+	t0 := t1 - WindowSeconds
+	n := len(s.schema)
+	out.Min = resizeFloats(out.Min, n)
+	out.Mean = resizeFloats(out.Mean, n)
+	out.Max = resizeFloats(out.Max, n)
+	for i := 0; i < n; i++ {
+		out.Min[i] = math.Inf(1)
+		out.Mean[i] = 0
+		out.Max[i] = math.Inf(-1)
+	}
+	if len(w.nodes) == 0 {
+		return
+	}
+	if w.faults != s.faults {
+		// The sampler's fault model changed under us: every cached
+		// partial is stale.
+		for i := range w.partials {
+			w.partials[i].set = false
+		}
+		w.faults = s.faults
+	}
+	first, last := tickBounds(t0, t1)
+	if last < first {
+		// Sub-period window: delegate to the direct path's single-sample
+		// fallback (never the case for the standard window).
+		s.aggregateInto(w.hist, w.nodes, t0, t1, out, true)
+		return
+	}
+	// The standard window spans exactly WindowTicks ticks, but guard
+	// against float rounding at the window edges producing one more.
+	if c := int(last - first + 1); c > len(w.partials) {
+		w.partials = append(w.partials, make([]tickPartial, c-len(w.partials))...)
+	}
+	ring := int64(len(w.partials))
+	w.sliceBuf = w.hist.WindowInto(t0, t1, w.sliceBuf[:0])
+	counts := w.counts
+	for i := 0; i < n; i++ {
+		counts[i] = 0
+	}
+	for tick := first; tick <= last; tick++ {
+		p := &w.partials[int(((tick%ring)+ring)%ring)]
+		if !p.set || p.tick != tick || p.minEffT < t0 {
+			w.computePartial(tick, t0, p)
+		}
+		for ci := 0; ci < n; ci++ {
+			if p.count[ci] == 0 {
+				continue
+			}
+			if p.min[ci] < out.Min[ci] {
+				out.Min[ci] = p.min[ci]
+			}
+			if p.max[ci] > out.Max[ci] {
+				out.Max[ci] = p.max[ci]
+			}
+			out.Mean[ci] += p.sum[ci]
+			counts[ci] += int(p.count[ci])
+		}
+	}
+	for ci := 0; ci < n; ci++ {
+		if counts[ci] == 0 {
+			out.Min[ci], out.Mean[ci], out.Max[ci] = math.NaN(), math.NaN(), math.NaN()
+			continue
+		}
+		out.Mean[ci] /= float64(counts[ci])
+	}
+}
+
+// computePartial fills p with tick's node-major aggregate for a window
+// starting at t0. Rows come from the sampler's shared row cache, so a
+// WindowAgg and direct aggregation queries feed each other's caches.
+func (w *WindowAgg) computePartial(tick int64, t0 float64, p *tickPartial) {
+	s := w.s
+	n := len(s.schema)
+	p.tick = tick
+	p.set = true
+	for ci := 0; ci < n; ci++ {
+		p.min[ci] = math.Inf(1)
+		p.max[ci] = math.Inf(-1)
+		p.sum[ci] = 0
+		p.count[ci] = 0
+	}
+	tickT := float64(tick) * SamplePeriod
+	tickNet, tickFS := loadsAt(w.sliceBuf, tickT)
+	minEffT := tickT
+	for _, node := range w.nodes {
+		row := s.rowFor(w.hist, w.sliceBuf, t0, tickT, tickNet, tickFS, node, tick)
+		if row.effT < minEffT {
+			minEffT = row.effT
+		}
+		for ci := 0; ci < n; ci++ {
+			v := row.vals[ci]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < p.min[ci] {
+				p.min[ci] = v
+			}
+			if v > p.max[ci] {
+				p.max[ci] = v
+			}
+			p.sum[ci] += v
+			p.count[ci]++
+		}
+	}
+	p.minEffT = minEffT
+}
