@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate vet fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,16 @@ bench-gate:
 	echo "$$out"; \
 	echo "$$out" | grep 'GateDecision/fast' | grep -q ' 0 allocs/op' || { echo "bench-gate: gate decision allocates on the fast path"; exit 1; }
 
+# bench-train guards the training fast path: the allocs-per-node
+# regression test (a fast-path Fit may allocate its fixed working set
+# plus the stored nodes, nothing per node beyond that) and one
+# iteration of the headline full-candidate Forest fit benchmark, fast
+# path only, to prove the path runs end to end. Reference numbers live
+# in BENCH_train.json.
+bench-train:
+	$(GO) test -run TestFitAllocBudget ./internal/mlkit/
+	$(GO) test -run '^$$' -bench '^BenchmarkFit$$/^Forest$$/^fast$$' -benchtime 1x -benchmem .
+
 vet:
 	$(GO) vet ./...
 
@@ -55,5 +65,6 @@ fmt:
 # ci is the full gate: formatting, static analysis, the test suite
 # under the race detector (race subsumes race-hot; both run so the hot
 # paths report first), the zero-alloc observability and gate-decision
-# guards, and the parallel-speedup smoke.
-ci: fmt vet race-hot race bench-obs bench-gate bench-smoke
+# guards, the training-path allocation guard, and the parallel-speedup
+# smoke.
+ci: fmt vet race-hot race bench-obs bench-gate bench-train bench-smoke

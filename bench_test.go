@@ -21,6 +21,7 @@ package rush
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -557,6 +558,99 @@ func BenchmarkGateDecision(b *testing.B) {
 				gate.Allow(j, alloc)
 			}
 		})
+	}
+}
+
+// ----- Training fast path (BENCH_train.json) -----
+
+// The training benchmarks use a synthetic dataset at the deployed
+// predictor's exact shape — 2000 rows × the full 282-feature Table I
+// width, three classes, 2% missing values — so the measured speedups
+// transfer directly to TrainPredictor. Differential tests
+// (TestFastPathBitIdentical and friends) pin the fast path byte-identical
+// to the reference path, so the sub-benchmarks differ only in wall clock.
+var (
+	benchFitOnce sync.Once
+	benchFitX    [][]float64
+	benchFitY    []int
+)
+
+func fitBenchData(b *testing.B) ([][]float64, []int) {
+	b.Helper()
+	benchFitOnce.Do(func() {
+		rng := sim.NewSource(4321).Derive("bench-fit")
+		const n = 2000
+		benchFitX = make([][]float64, n)
+		benchFitY = make([]int, n)
+		for i := range benchFitX {
+			row := make([]float64, dataset.NumFeatures)
+			c := rng.Intn(3)
+			for j := range row {
+				if rng.Float64() < 0.02 {
+					row[j] = math.NaN()
+					continue
+				}
+				row[j] = rng.Normal(float64(c)*float64(j%7)*0.15, 1.0)
+			}
+			benchFitX[i] = row
+			benchFitY[i] = c
+		}
+	})
+	return benchFitX, benchFitY
+}
+
+// BenchmarkFit times one full Fit of each ensemble on the presorted
+// column-partitioning fast path versus the per-node-sort reference path
+// (DisableFastPath). Tree counts are scaled down from the deployed
+// configs (60 trees, 150 rounds) to keep `make bench-train` fast; the
+// per-tree cost ratio is what transfers. Reference numbers live in
+// BENCH_train.json.
+//
+// Forest is the headline: full-candidate exact splits (MaxFeatures =
+// all 282), where the reference pays its O(features × n log n) per-node
+// sort — the cost the fast path exists to eliminate. ForestSqrt and
+// ExtraTrees are the deployed shapes (sqrt-candidate); ExtraTrees'
+// random-threshold reference never sorts per node at all, so its ratio
+// measures only allocation and locality wins, not sort elimination.
+func BenchmarkFit(b *testing.B) {
+	x, y := fitBenchData(b)
+	models := []struct {
+		name string
+		mk   func(disable bool) mlkit.Classifier
+	}{
+		{"Tree", func(d bool) mlkit.Classifier {
+			return mlkit.NewTree(mlkit.TreeConfig{MaxDepth: 12, DisableFastPath: d})
+		}},
+		{"Forest", func(d bool) mlkit.Classifier {
+			return mlkit.NewRandomForest(mlkit.ForestConfig{Trees: 4, MaxDepth: 12, MaxFeatures: dataset.NumFeatures, Seed: 7, Workers: 1, DisableFastPath: d})
+		}},
+		{"ForestSqrt", func(d bool) mlkit.Classifier {
+			return mlkit.NewRandomForest(mlkit.ForestConfig{Trees: 20, MaxDepth: 12, Seed: 7, Workers: 1, DisableFastPath: d})
+		}},
+		{"ExtraTrees", func(d bool) mlkit.Classifier {
+			return mlkit.NewExtraTrees(mlkit.ForestConfig{Trees: 20, MaxDepth: 14, Seed: 7, Workers: 1, DisableFastPath: d})
+		}},
+		{"AdaBoost", func(d bool) mlkit.Classifier {
+			return mlkit.NewAdaBoost(mlkit.AdaBoostConfig{Rounds: 10, Depth: 2, Seed: 7, Workers: 1, DisableFastPath: d})
+		}},
+		{"GBM", func(d bool) mlkit.Classifier {
+			return mlkit.NewGBM(mlkit.GBMConfig{Rounds: 10, MaxDepth: 3, MaxFeatures: 64, Seed: 7, DisableFastPath: d})
+		}},
+	}
+	for _, m := range models {
+		for _, mode := range []struct {
+			name string
+			fast bool
+		}{{"fast", true}, {"reference", false}} {
+			b.Run(m.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := m.mk(!mode.fast).Fit(x, y); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

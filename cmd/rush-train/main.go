@@ -23,6 +23,7 @@ import (
 	"rush/internal/dataset"
 	"rush/internal/experiments"
 	"rush/internal/mlkit"
+	"rush/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	rfe := flag.Bool("rfe", false, "run recursive feature elimination and report the trajectory")
 	temporal := flag.Bool("temporal", false, "run sliding train-on-past/test-on-future validation")
 	seed := cliflags.Seed(1)
+	metrics := cliflags.Metrics()
 	out := flag.String("out", "predictor.json", "output predictor JSON")
 	flag.Parse()
 
@@ -95,9 +97,19 @@ func main() {
 	if *trainApps != "" {
 		appsList = strings.Split(*trainApps, ",")
 	}
-	pred, err := core.TrainPredictor(ds, core.ModelName(*modelName), appsList, *seed)
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	pred, err := core.TrainPredictorObserved(ds, core.ModelName(*modelName), appsList, *seed, reg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if snap := reg.Snapshot(); snap != nil {
+		fmt.Println("training metrics:")
+		for _, c := range snap.Counters {
+			fmt.Printf("  %-20s %.0f\n", c.Name, c.Value)
+		}
 	}
 	blob, err := pred.Save()
 	if err != nil {

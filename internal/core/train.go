@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rush/internal/dataset"
 	"rush/internal/mlkit"
+	"rush/internal/obs"
 )
 
 // ModelName identifies one of the paper's four candidate classifiers.
@@ -134,6 +136,14 @@ type Predictor struct {
 // non-empty, restricts the training data to those applications (the PDPA
 // experiment).
 func TrainPredictor(ds *dataset.Dataset, name ModelName, trainApps []string, seed int64) (*Predictor, error) {
+	return TrainPredictorObserved(ds, name, trainApps, seed, nil)
+}
+
+// TrainPredictorObserved is TrainPredictor with training-cost metrics
+// recorded into reg (nil-safe, zero overhead when nil): wall time spent
+// in cross-validation and in the deployed fit, the number of Fit calls,
+// and the number of tree nodes the deployed model grew.
+func TrainPredictorObserved(ds *dataset.Dataset, name ModelName, trainApps []string, seed int64, reg *obs.Registry) (*Predictor, error) {
 	// Reference statistics always cover every application: the paper's
 	// PDPA experiment withholds apps from the *model*, but variation is
 	// still judged against each app's own historical distribution.
@@ -153,12 +163,20 @@ func TrainPredictor(ds *dataset.Dataset, name ModelName, trainApps []string, see
 	folds, err := mlkit.StratifiedKFold(y, 5, seed)
 	var cvF1 float64
 	if err == nil {
+		var cvStart time.Time
+		if reg != nil {
+			cvStart = time.Now()
+		}
 		cv, cvErr := mlkit.CrossValidate(func() mlkit.Classifier {
 			m, _ := NewModel(name, seed)
+			reg.Counter("train_fit_calls").Inc()
 			return m
 		}, x, y, folds, dataset.LabelVariation)
 		if cvErr == nil {
 			cvF1 = cv.MeanF1()
+		}
+		if reg != nil {
+			reg.Counter("train_cv_wall_us").Add(uint64(time.Since(cvStart).Microseconds()))
 		}
 	}
 
@@ -166,8 +184,17 @@ func TrainPredictor(ds *dataset.Dataset, name ModelName, trainApps []string, see
 	if err != nil {
 		return nil, err
 	}
+	var fitStart time.Time
+	if reg != nil {
+		fitStart = time.Now()
+	}
 	if err := model.Fit(x, y); err != nil {
 		return nil, fmt.Errorf("core: training deployed model: %w", err)
+	}
+	if reg != nil {
+		reg.Counter("train_fit_wall_us").Add(uint64(time.Since(fitStart).Microseconds()))
+		reg.Counter("train_fit_calls").Inc()
+		reg.Counter("train_nodes_grown").Add(uint64(mlkit.ModelNodes(model)))
 	}
 	return &Predictor{
 		Model:     model,

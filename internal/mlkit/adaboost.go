@@ -2,7 +2,6 @@ package mlkit
 
 import (
 	"math"
-	"sort"
 
 	"rush/internal/parallel"
 	"rush/internal/sim"
@@ -33,6 +32,12 @@ type AdaBoostConfig struct {
 	// identical model. A runtime knob, not model state — excluded from
 	// serialization.
 	Workers int `json:"-"`
+	// DisableFastPath propagates to depth >= 2 tree weak learners (see
+	// TreeConfig.DisableFastPath). Stumps are unaffected: their one-off
+	// presort has always been the only implementation and now shares the
+	// fast path's column structure. A runtime knob, not model state —
+	// excluded from serialization.
+	DisableFastPath bool `json:"-"`
 }
 
 func (c *AdaBoostConfig) fill() {
@@ -105,6 +110,19 @@ func (a *AdaBoost) Rounds() int {
 	return len(a.stumps)
 }
 
+// NumNodes reports the total decision nodes across the weak learners
+// (each stump counts as one).
+func (a *AdaBoost) NumNodes() int {
+	if a.cfg.Depth >= 2 && len(a.trees) > 0 {
+		total := 0
+		for _, t := range a.trees {
+			total += t.NumNodes()
+		}
+		return total
+	}
+	return len(a.stumps)
+}
+
 // Fit implements Classifier.
 func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 	nf, err := validateXY(x, y)
@@ -122,26 +140,21 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 		yi[i] = classIdx[label]
 	}
 
-	// Presort sample indices per feature once; every stump round reuses
-	// them. Tree weak learners sort per node instead. Each feature's
-	// sort is independent, so they fan out across the pool.
-	var sorted [][]int
-	if a.cfg.Depth == 1 {
-		sorted = make([][]int, nf)
-		if err := parallel.Run(nil, a.cfg.Workers, nf, func(f int) error {
-			idx := make([]int, len(x))
-			for i := range idx {
-				idx[i] = i
-			}
-			sort.Slice(idx, func(p, q int) bool { return x[idx[p]][f] < x[idx[q]][f] })
-			sorted[f] = idx
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-
+	// Presort feature columns once (the shared fast-path structure from
+	// presort.go); every stump round rescans the same sorted order, and
+	// depth >= 2 tree weak learners partition a per-round copy of it
+	// instead of re-sorting per node.
 	n := len(x)
+	var colv []float64
+	var cols *sortedCols
+	if a.cfg.Depth == 1 || !a.cfg.DisableFastPath {
+		colv = columnMajor(x, nf)
+		cols = presortColumns(colv, nf, n, a.cfg.Workers)
+	}
+	var treeCtx *trainCtx
+	if a.cfg.Depth >= 2 && !a.cfg.DisableFastPath {
+		treeCtx = &trainCtx{colv: colv, cols: cols}
+	}
 	w := make([]float64, n)
 	for i := range w {
 		w[i] = 1 / float64(n)
@@ -161,18 +174,19 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 		var tree *Tree
 		var errRate float64
 		if a.cfg.Depth == 1 {
-			st, errRate = bestStump(x, yi, w, k, sorted, a.cfg.Workers)
+			st, errRate = bestStump(colv, n, yi, w, k, cols, a.cfg.Workers)
 			if st.Feature < 0 {
 				break
 			}
 			predict = st.predict
 		} else {
 			tree = NewTree(TreeConfig{
-				MaxDepth:    a.cfg.Depth + 1, // CART counts the root as a level
-				MaxFeatures: a.cfg.MaxFeatures,
-				Seed:        seedRng.Int63(),
+				MaxDepth:        a.cfg.Depth + 1, // CART counts the root as a level
+				MaxFeatures:     a.cfg.MaxFeatures,
+				Seed:            seedRng.Int63(),
+				DisableFastPath: a.cfg.DisableFastPath,
 			})
-			if err := tree.FitWeighted(x, yi, w); err != nil {
+			if err := tree.fitWeightedCtx(x, yi, w, treeCtx); err != nil {
 				return err
 			}
 			predict = tree.Predict
@@ -247,13 +261,14 @@ func (a *AdaBoost) Fit(x [][]float64, y []int) error {
 }
 
 // bestStump finds the weighted-error-minimizing stump across all
-// features using the presorted index lists. Features scan concurrently
+// features using the presorted column structure (colv column-major
+// values, cols canonical per-feature order). Features scan concurrently
 // (bounded by workers) and their candidates reduce in feature order
 // with a strict less-than, so the winner — and therefore the fitted
 // model — is the one a serial ascending scan would pick, at any worker
 // count. It returns Feature == -1 when no feature has two distinct
 // values.
-func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int, workers int) (stump, float64) {
+func bestStump(colv []float64, n int, yi []int, w []float64, k int, cols *sortedCols, workers int) (stump, float64) {
 	var totalCounts []float64
 	totalCounts = make([]float64, k)
 	var totalW float64
@@ -267,9 +282,11 @@ func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int, work
 		st  stump
 		err float64
 	}
-	cands := make([]candidate, len(sorted))
-	err := parallel.Run(nil, workers, len(sorted), func(f int) error {
-		idx := sorted[f]
+	nf := len(colv) / n
+	cands := make([]candidate, nf)
+	err := parallel.Run(nil, workers, nf, func(f int) error {
+		idx := cols.col(f)
+		vals := colv[f*n : (f+1)*n]
 		fBest := candidate{st: stump{Feature: -1}, err: math.Inf(1)}
 		leftCounts := make([]float64, k)
 		var leftW float64
@@ -277,7 +294,7 @@ func bestStump(x [][]float64, yi []int, w []float64, k int, sorted [][]int, work
 			s := idx[p]
 			leftCounts[yi[s]] += w[s]
 			leftW += w[s]
-			v, next := x[s][f], x[idx[p+1]][f]
+			v, next := vals[s], vals[idx[p+1]]
 			if v == next {
 				continue
 			}

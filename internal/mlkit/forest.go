@@ -26,6 +26,10 @@ type ForestConfig struct {
 	// model. A runtime knob, not model state — excluded from
 	// serialization.
 	Workers int `json:"-"`
+	// DisableFastPath propagates to every tree (see
+	// TreeConfig.DisableFastPath) and skips the shared column presort.
+	// A runtime knob, not model state — excluded from serialization.
+	DisableFastPath bool `json:"-"`
 }
 
 func (c *ForestConfig) fill() {
@@ -87,23 +91,39 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 	// then seed, in tree order, exactly the draw sequence of a serial
 	// fit — so the parallel fan-out below cannot perturb the stream.
 	type treeJob struct {
-		x    [][]float64
-		y    []int
-		seed int64
+		x     [][]float64
+		y     []int
+		picks []int // bootstrap resample (original row per position), nil without bootstrap
+		seed  int64
 	}
 	jobs := make([]treeJob, f.cfg.Trees)
 	for t := range jobs {
 		tx, ty := x, y
+		var picks []int
 		if f.bootstrap {
 			tx = make([][]float64, len(x))
 			ty = make([]int, len(y))
+			picks = make([]int, len(x))
 			for i := range tx {
 				j := rng.Intn(len(x))
 				tx[i] = x[j]
 				ty[i] = y[j]
+				picks[i] = j
 			}
 		}
-		jobs[t] = treeJob{x: tx, y: ty, seed: rng.Int63()}
+		jobs[t] = treeJob{x: tx, y: ty, picks: picks, seed: rng.Int63()}
+	}
+
+	// The fast path presorts the original matrix once and derives each
+	// bootstrap tree's sorted columns from it (bootstrapCtx) instead of
+	// sorting per tree; Extra Trees never consult sorted order, so they
+	// share just the column-major values.
+	var master *trainCtx
+	if !f.cfg.DisableFastPath {
+		master = &trainCtx{colv: columnMajor(x, nf)}
+		if f.bootstrap && !f.randomThr {
+			master.cols = presortColumns(master.colv, nf, len(x), f.cfg.Workers)
+		}
 	}
 
 	if err := parallel.Run(nil, f.cfg.Workers, f.cfg.Trees, func(t int) error {
@@ -113,8 +133,21 @@ func (f *Forest) Fit(x [][]float64, y []int) error {
 			MaxFeatures:     f.cfg.MaxFeatures,
 			RandomThreshold: f.randomThr,
 			Seed:            jobs[t].seed,
+			DisableFastPath: f.cfg.DisableFastPath,
 		})
-		if err := tree.Fit(jobs[t].x, jobs[t].y); err != nil {
+		var tc *trainCtx
+		if master != nil {
+			if jobs[t].picks != nil {
+				tc = bootstrapCtx(master, nf, len(x), jobs[t].picks)
+			} else {
+				tc = master
+			}
+		}
+		err := tree.fitCtx(jobs[t].x, jobs[t].y, tc)
+		if tc != nil && tc != master {
+			tc.release() // pooled bootstrap buffers; the fit retains nothing from them
+		}
+		if err != nil {
 			return fmt.Errorf("mlkit: tree %d: %w", t, err)
 		}
 		f.trees[t] = tree
@@ -176,6 +209,15 @@ func (f *Forest) PredictProba(sample []float64) []float64 {
 
 // Classes returns the sorted training labels.
 func (f *Forest) Classes() []int { return f.classes }
+
+// NumNodes reports the total stored nodes across all trees.
+func (f *Forest) NumNodes() int {
+	total := 0
+	for _, t := range f.trees {
+		total += t.NumNodes()
+	}
+	return total
+}
 
 // Importances implements ImportanceReporter by averaging per-tree Gini
 // importances.

@@ -25,6 +25,10 @@ type GBMConfig struct {
 	MaxFeatures int
 	// Seed drives subsampling.
 	Seed int64
+	// DisableFastPath propagates to every regression tree (see
+	// TreeConfig.DisableFastPath). A runtime knob, not model state —
+	// excluded from serialization.
+	DisableFastPath bool `json:"-"`
 }
 
 func (c *GBMConfig) fill() {
@@ -68,7 +72,8 @@ func (g *GBM) Name() string { return "GradientBoosting" }
 
 // Fit implements Classifier.
 func (g *GBM) Fit(x [][]float64, y []int) error {
-	if _, err := validateXY(x, y); err != nil {
+	nf, err := validateXY(x, y)
+	if err != nil {
 		return err
 	}
 	g.classes = classSet(y)
@@ -87,6 +92,15 @@ func (g *GBM) Fit(x [][]float64, y []int) error {
 	g.ensembles = make([][]*RegTree, heads)
 	g.base = make([]float64, heads)
 	rng := sim.NewSource(g.cfg.Seed).Derive("gbm")
+
+	// Every boosting round trains on (a row selection of) the same
+	// matrix, so the fast path presorts it once and derives each round's
+	// sorted columns from the master — a filtered copy, not a sort.
+	var master *trainCtx
+	if !g.cfg.DisableFastPath {
+		master = &trainCtx{colv: columnMajor(x, nf)}
+		master.cols = presortColumns(master.colv, nf, len(x), 1)
+	}
 
 	for h := 0; h < heads; h++ {
 		target := g.classes[h]
@@ -115,14 +129,27 @@ func (g *GBM) Fit(x [][]float64, y []int) error {
 			for i := range grad {
 				grad[i] = ind[i] - sigmoid(scores[i])
 			}
-			sx, sg := g.subsample(x, grad, rng)
+			sx, sg, perm := g.subsample(x, grad, rng)
 			tree := NewRegTree(TreeConfig{
-				MaxDepth:    g.cfg.MaxDepth,
-				MinLeaf:     g.cfg.MinLeaf,
-				MaxFeatures: g.cfg.MaxFeatures,
-				Seed:        rng.Int63(),
+				MaxDepth:        g.cfg.MaxDepth,
+				MinLeaf:         g.cfg.MinLeaf,
+				MaxFeatures:     g.cfg.MaxFeatures,
+				Seed:            rng.Int63(),
+				DisableFastPath: g.cfg.DisableFastPath,
 			})
-			if err := tree.Fit(sx, sg); err != nil {
+			var tc *trainCtx
+			if master != nil {
+				if perm != nil {
+					tc = subsampleCtx(master, nf, len(x), perm)
+				} else {
+					tc = copyCtx(master, nf, len(x))
+				}
+			}
+			err := tree.fitCtx(sx, sg, tc)
+			if tc != nil {
+				tc.release() // pooled derivation; the fit retains nothing from it
+			}
+			if err != nil {
 				return fmt.Errorf("mlkit: gbm head %d round %d: %w", h, round, err)
 			}
 			g.ensembles[h] = append(g.ensembles[h], tree)
@@ -134,9 +161,12 @@ func (g *GBM) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-func (g *GBM) subsample(x [][]float64, grad []float64, rng *sim.Source) ([][]float64, []float64) {
+// subsample draws the round's row selection; the returned perm (nil
+// when the full matrix is used) maps subsample position to master row,
+// letting the fast path derive the round's sorted columns.
+func (g *GBM) subsample(x [][]float64, grad []float64, rng *sim.Source) ([][]float64, []float64, []int) {
 	if g.cfg.Subsample >= 1 {
-		return x, grad
+		return x, grad, nil
 	}
 	n := int(g.cfg.Subsample * float64(len(x)))
 	if n < 2 {
@@ -149,7 +179,7 @@ func (g *GBM) subsample(x [][]float64, grad []float64, rng *sim.Source) ([][]flo
 		sx[i] = x[p]
 		sg[i] = grad[p]
 	}
-	return sx, sg
+	return sx, sg, perm
 }
 
 // score returns each head's boosted log-odds for sample.
@@ -198,6 +228,17 @@ func (g *GBM) PredictProba(sample []float64) []float64 {
 
 // Classes returns the sorted training labels.
 func (g *GBM) Classes() []int { return g.classes }
+
+// NumNodes reports the total stored nodes across every head's trees.
+func (g *GBM) NumNodes() int {
+	total := 0
+	for _, trees := range g.ensembles {
+		for _, t := range trees {
+			total += t.NumNodes()
+		}
+	}
+	return total
+}
 
 func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
 

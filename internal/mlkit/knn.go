@@ -67,11 +67,43 @@ type hit struct {
 	y int
 }
 
+// hitLess is the neighbor order: nearest first, ties broken toward the
+// smaller class label — the comparator the former full sort used.
+func hitLess(a, b hit) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.y < b.y
+}
+
+// selectTopK returns the kk smallest hits under hitLess, in order,
+// without sorting the rest: a bounded insertion pass that is O(n·kk)
+// worst case but O(n + kk²) in practice, since once the boundary
+// settles almost every hit fails the single comparison against it.
+// Hits equal under hitLess are identical structs, so which of them
+// lands on the boundary cannot change the result.
+func selectTopK(hits []hit, kk int) []hit {
+	top := make([]hit, 0, kk)
+	for _, h := range hits {
+		if len(top) == kk && !hitLess(h, top[kk-1]) {
+			continue
+		}
+		pos := sort.Search(len(top), func(i int) bool { return hitLess(h, top[i]) })
+		if len(top) < kk {
+			top = append(top, hit{})
+		}
+		copy(top[pos+1:], top[pos:len(top)-1])
+		top[pos] = h
+	}
+	return top
+}
+
 // nearest computes every training row's distance to sample — fanning the
 // evaluation across the pool in contiguous row chunks when the training
-// set is large enough to amortize it — and returns the hits sorted by
-// (distance, label). Distances slot by row index, so the sorted order
-// (and every prediction built from it) is identical at any worker count.
+// set is large enough to amortize it — and returns the K nearest hits
+// sorted by (distance, label). Distances slot by row index, so the
+// selection (and every prediction built from it) is identical at any
+// worker count.
 func (k *KNN) nearest(sample []float64) ([]hit, int) {
 	if len(k.x) == 0 {
 		panic("mlkit: predict before fit")
@@ -99,17 +131,11 @@ func (k *KNN) nearest(sample []float64) ([]hit, int) {
 			panic(err) // tasks never error; only a captured panic lands here
 		}
 	}
-	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].d != hits[b].d {
-			return hits[a].d < hits[b].d
-		}
-		return hits[a].y < hits[b].y
-	})
 	kk := k.cfg.K
 	if kk > len(hits) {
 		kk = len(hits)
 	}
-	return hits, kk
+	return selectTopK(hits, kk), kk
 }
 
 // Predict implements Classifier with a plurality vote over the K nearest

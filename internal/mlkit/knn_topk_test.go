@@ -1,0 +1,82 @@
+package mlkit
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rush/internal/sim"
+)
+
+// TestSelectTopKMatchesSort pins the bounded selection against the full
+// sort it replaced, on tie-heavy data where the boundary is ambiguous.
+func TestSelectTopKMatchesSort(t *testing.T) {
+	rng := sim.NewSource(5).Derive("topk-test")
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		hits := make([]hit, n)
+		for i := range hits {
+			// Quantized distances force plenty of exact ties.
+			hits[i] = hit{d: float64(rng.Intn(20)) / 4, y: rng.Intn(3)}
+		}
+		for _, kk := range []int{1, 3, 7, n} {
+			if kk > n {
+				kk = n
+			}
+			ref := append([]hit(nil), hits...)
+			sort.Slice(ref, func(a, b int) bool { return hitLess(ref[a], ref[b]) })
+			got := selectTopK(hits, kk)
+			if !reflect.DeepEqual(ref[:kk], got) {
+				t.Fatalf("trial %d k=%d: selectTopK %v != sorted prefix %v", trial, kk, got, ref[:kk])
+			}
+		}
+	}
+}
+
+// TestKNNTopKPredictionsUnchanged is the end-to-end differential: KNN
+// predictions and probabilities through the bounded selection must equal
+// those computed from a full sort of all distances.
+func TestKNNTopKPredictionsUnchanged(t *testing.T) {
+	x, y := workersDataset(600, 10, 2)
+	knn := NewKNN(KNNConfig{K: 7})
+	if err := knn.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := workersDataset(80, 10, 3)
+	for qi, q := range queries {
+		// Reference: full sort over every training row, exactly the old
+		// nearest().
+		qs := knn.scaler.Transform(q)
+		all := make([]hit, len(knn.x))
+		for i, row := range knn.x {
+			all[i] = hit{d: nanSqDist(row, qs), y: knn.y[i]}
+		}
+		sort.Slice(all, func(a, b int) bool { return hitLess(all[a], all[b]) })
+		kk := knn.cfg.K
+		votes := map[int]int{}
+		for _, h := range all[:kk] {
+			votes[h.y]++
+		}
+		wantClass, bestN := -1, -1
+		for _, c := range knn.classes {
+			if votes[c] > bestN {
+				wantClass, bestN = c, votes[c]
+			}
+		}
+		wantProbs := make([]float64, len(knn.classes))
+		for i, c := range knn.classes {
+			wantProbs[i] = float64(votes[c]) / float64(kk)
+		}
+
+		if got := knn.Predict(q); got != wantClass {
+			t.Fatalf("query %d: Predict %d != full-sort reference %d", qi, got, wantClass)
+		}
+		gotProbs := knn.PredictProba(q)
+		for i := range wantProbs {
+			if math.Abs(gotProbs[i]-wantProbs[i]) > 1e-12 {
+				t.Fatalf("query %d: PredictProba %v != reference %v", qi, gotProbs, wantProbs)
+			}
+		}
+	}
+}

@@ -49,6 +49,24 @@ type ImportanceReporter interface {
 	Importances() []float64
 }
 
+// NodeCounter is implemented by tree-family models that can report how
+// many decision nodes training grew — the natural unit for training-cost
+// observability (work per Fit is roughly nodes × features scanned).
+type NodeCounter interface {
+	// NumNodes returns the total stored nodes (splits plus leaves, one
+	// per stump). Only valid after Fit.
+	NumNodes() int
+}
+
+// ModelNodes reports c's trained node count, or 0 for models without a
+// tree structure (e.g. KNN).
+func ModelNodes(c Classifier) int {
+	if nc, ok := c.(NodeCounter); ok {
+		return nc.NumNodes()
+	}
+	return 0
+}
+
 // PredictBatch applies c.Predict to every row of x.
 func PredictBatch(c Classifier, x [][]float64) []int {
 	out := make([]int, len(x))

@@ -40,6 +40,13 @@ func NewRegTree(cfg TreeConfig) *RegTree {
 
 // Fit trains on continuous targets.
 func (t *RegTree) Fit(x [][]float64, targets []float64) error {
+	return t.fitCtx(x, targets, nil)
+}
+
+// fitCtx is Fit with an optional precomputed column context from an
+// ensemble (see trainCtx) — gradient boosting derives each round's
+// context from one master presort instead of re-sorting per tree.
+func (t *RegTree) fitCtx(x [][]float64, targets []float64, tc *trainCtx) error {
 	if len(x) == 0 {
 		return fmt.Errorf("mlkit: empty regression training set")
 	}
@@ -48,15 +55,22 @@ func (t *RegTree) Fit(x [][]float64, targets []float64) error {
 	}
 	t.nFeatures = len(x[0])
 	t.nodes = t.nodes[:0]
-	samples := make([]int, len(x))
-	for i := range samples {
-		samples[i] = i
+	if t.cfg.DisableFastPath {
+		samples := make([]int, len(x))
+		for i := range samples {
+			samples[i] = i
+		}
+		b := &regBuilder{t: t, x: x, y: targets, rng: sim.NewSource(t.cfg.Seed)}
+		b.build(samples, 1)
+	} else {
+		newFastRegBuilder(t, x, targets, tc).run()
 	}
-	b := &regBuilder{t: t, x: x, y: targets, rng: sim.NewSource(t.cfg.Seed)}
-	b.build(samples, 1)
 	t.compile()
 	return nil
 }
+
+// NumNodes reports the number of stored nodes (splits plus leaves).
+func (t *RegTree) NumNodes() int { return len(t.nodes) }
 
 // Predict returns the leaf mean for one sample.
 func (t *RegTree) Predict(sample []float64) float64 {
@@ -139,16 +153,7 @@ func (b *regBuilder) build(samples []int, depth int) int {
 // bestSplit maximizes SSE reduction over the candidate features.
 func (b *regBuilder) bestSplit(samples []int, total, parentSSE float64) (int, float64, float64) {
 	nf := b.t.nFeatures
-	nCand := b.t.cfg.MaxFeatures
-	switch {
-	case nCand == SqrtFeatures:
-		nCand = int(math.Sqrt(float64(nf)))
-		if nCand < 1 {
-			nCand = 1
-		}
-	case nCand <= 0 || nCand > nf:
-		nCand = nf
-	}
+	nCand := resolveCandidates(b.t.cfg.MaxFeatures, nf)
 	var candidates []int
 	if nCand == nf {
 		candidates = make([]int, nf)
@@ -163,7 +168,12 @@ func (b *regBuilder) bestSplit(samples []int, total, parentSSE float64) (int, fl
 	order := make([]int, len(samples))
 	for _, f := range candidates {
 		copy(order, samples)
-		sort.Slice(order, func(i, j int) bool { return b.x[order[i]][f] < b.x[order[j]][f] })
+		// Canonical column order (colLess), matching the fast path's
+		// presorted columns so both scans accumulate identically.
+		sort.Slice(order, func(i, j int) bool {
+			p, q := order[i], order[j]
+			return colLess(b.x[p][f], b.x[q][f], int32(p), int32(q))
+		})
 
 		var leftSum, leftSumSq float64
 		for i := 0; i < len(order)-1; i++ {

@@ -23,6 +23,12 @@ type TreeConfig struct {
 	RandomThreshold bool
 	// Seed drives feature subsampling and random thresholds.
 	Seed int64
+	// DisableFastPath routes training through the straightforward
+	// per-node sorting builder instead of the presorted-column builder
+	// (trainfast.go). Both grow bit-identical trees; the reference path
+	// is kept as the oracle for differential tests. A runtime knob, not
+	// model state — excluded from serialization.
+	DisableFastPath bool `json:"-"`
 }
 
 // SqrtFeatures selects sqrt(#features) candidates per split.
@@ -72,15 +78,25 @@ func (t *Tree) Name() string { return t.name }
 
 // Fit implements Classifier with uniform sample weights.
 func (t *Tree) Fit(x [][]float64, y []int) error {
+	return t.fitCtx(x, y, nil)
+}
+
+// fitCtx is Fit with an optional precomputed column context from an
+// ensemble (see trainCtx).
+func (t *Tree) fitCtx(x [][]float64, y []int, tc *trainCtx) error {
 	w := make([]float64, len(y))
 	for i := range w {
 		w[i] = 1
 	}
-	return t.FitWeighted(x, y, w)
+	return t.fitWeightedCtx(x, y, w, tc)
 }
 
 // FitWeighted trains on weighted samples.
 func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
+	return t.fitWeightedCtx(x, y, w, nil)
+}
+
+func (t *Tree) fitWeightedCtx(x [][]float64, y []int, w []float64, tc *trainCtx) error {
 	nf, err := validateXY(x, y)
 	if err != nil {
 		return err
@@ -101,16 +117,20 @@ func (t *Tree) FitWeighted(x [][]float64, y []int, w []float64) error {
 	for i, label := range y {
 		yi[i] = classIdx[label]
 	}
-	samples := make([]int, len(y))
-	for i := range samples {
-		samples[i] = i
+	if t.cfg.DisableFastPath {
+		samples := make([]int, len(y))
+		for i := range samples {
+			samples[i] = i
+		}
+		b := &treeBuilder{
+			t: t, x: x, y: yi, w: w,
+			k:   len(t.classes),
+			rng: sim.NewSource(t.cfg.Seed),
+		}
+		b.build(samples, 1)
+	} else {
+		newFastTreeBuilder(t, x, yi, w, tc).run()
 	}
-	b := &treeBuilder{
-		t: t, x: x, y: yi, w: w,
-		k:   len(t.classes),
-		rng: sim.NewSource(t.cfg.Seed),
-	}
-	b.build(samples, 1)
 	// Normalize importances to sum to one (when any split happened).
 	var total float64
 	for _, v := range t.imp {
@@ -164,6 +184,9 @@ func (t *Tree) Classes() []int { return t.classes }
 // Importances implements ImportanceReporter: normalized total Gini
 // decrease contributed by each feature.
 func (t *Tree) Importances() []float64 { return t.imp }
+
+// NumNodes reports the number of stored nodes (splits plus leaves).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
 
 // Depth returns the trained tree's depth (a leaf-only tree has depth 1).
 func (t *Tree) Depth() int {
@@ -261,16 +284,7 @@ func (b *treeBuilder) build(samples []int, depth int) int {
 // threshold, gini gain), or feature -1 when no valid split exists.
 func (b *treeBuilder) bestSplit(samples []int, counts []float64, total, parentGini float64) (int, float64, float64) {
 	nf := b.t.nFeatures
-	nCand := b.t.cfg.MaxFeatures
-	switch {
-	case nCand == SqrtFeatures:
-		nCand = int(math.Sqrt(float64(nf)))
-		if nCand < 1 {
-			nCand = 1
-		}
-	case nCand <= 0 || nCand > nf:
-		nCand = nf
-	}
+	nCand := resolveCandidates(b.t.cfg.MaxFeatures, nf)
 	var candidates []int
 	if nCand == nf {
 		candidates = make([]int, nf)
@@ -300,11 +314,17 @@ func (b *treeBuilder) bestSplit(samples []int, counts []float64, total, parentGi
 	return bestFeat, bestThr, bestGain
 }
 
-// exactSplit scans every cut point of feature f.
+// exactSplit scans every cut point of feature f. The sort uses the
+// canonical column order (colLess: ascending, NaN last, row-index
+// tie-break) so the scan sequence — and with it every floating-point
+// accumulation — matches the fast path's presorted columns exactly.
 func (b *treeBuilder) exactSplit(samples []int, f int, counts []float64, total, parentGini float64) (float64, float64, bool) {
 	order := make([]int, len(samples))
 	copy(order, samples)
-	sort.Slice(order, func(i, j int) bool { return b.x[order[i]][f] < b.x[order[j]][f] })
+	sort.Slice(order, func(i, j int) bool {
+		p, q := order[i], order[j]
+		return colLess(b.x[p][f], b.x[q][f], int32(p), int32(q))
+	})
 
 	leftCounts := make([]float64, b.k)
 	var leftTotal float64

@@ -19,11 +19,26 @@ type profile struct {
 }
 
 // newProfile builds a profile starting at now with the given current
-// free count and a set of future releases (time, nodes).
+// free count and a set of future releases (time, nodes). It copies and
+// sorts the releases; the backfill hot path sorts its reusable snapshot
+// buffer once and calls newProfileFromSorted directly.
 func newProfile(now float64, freeNow int, releases []release) *profile {
-	p := &profile{times: []float64{now}, free: []int{freeNow}}
 	sorted := append([]release(nil), releases...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].t < sorted[j].t })
+	sortReleases(sorted)
+	return newProfileFromSorted(now, freeNow, sorted)
+}
+
+// newProfileFromSorted builds a profile from releases already in
+// snapshot order (sortReleases). Ascending insertion keeps every addAt
+// appending at the tail — no mid-slice splits — so construction is
+// linear in the release count.
+func newProfileFromSorted(now float64, freeNow int, sorted []release) *profile {
+	p := &profile{
+		times: make([]float64, 1, len(sorted)+1),
+		free:  make([]int, 1, len(sorted)+1),
+	}
+	p.times[0] = now
+	p.free[0] = freeNow
 	for _, r := range sorted {
 		t := r.t
 		if t < now {
@@ -37,6 +52,28 @@ func newProfile(now float64, freeNow int, releases []release) *profile {
 type release struct {
 	t float64
 	n int
+}
+
+// releaseSorter orders releases by time, ties broken by node count —
+// a deterministic snapshot order regardless of the map-iteration order
+// the releases were collected in. Releases that tie on both fields are
+// interchangeable: addAt is commutative integer addition at one
+// boundary, so any order builds the identical profile.
+type releaseSorter struct{ rels []release }
+
+func (r *releaseSorter) Len() int { return len(r.rels) }
+func (r *releaseSorter) Less(i, j int) bool {
+	if r.rels[i].t != r.rels[j].t {
+		return r.rels[i].t < r.rels[j].t
+	}
+	return r.rels[i].n < r.rels[j].n
+}
+func (r *releaseSorter) Swap(i, j int) { r.rels[i], r.rels[j] = r.rels[j], r.rels[i] }
+
+// sortReleases sorts rels in place into snapshot order.
+func sortReleases(rels []release) {
+	s := releaseSorter{rels: rels}
+	sort.Sort(&s)
 }
 
 // addAt adds delta free nodes from time t onward.

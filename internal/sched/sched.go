@@ -346,6 +346,8 @@ type Scheduler struct {
 	candsBuf []*Job
 	relsBuf  []release
 	relSort  relSorter
+	bfRels   []release
+	bfSort   releaseSorter
 
 	inPass     bool
 	passWant   bool
@@ -516,7 +518,10 @@ func sortJobs(q []*Job, p Policy) {
 // restarts its pass).
 func (s *Scheduler) conservativeBackfill() bool {
 	now := s.m.Eng.Now()
-	rels := make([]release, 0, len(s.running))
+	// Snapshot the running set's releases into a reusable buffer and
+	// sort once, deterministically (releaseSorter), instead of letting
+	// newProfile copy and re-sort per call.
+	rels := s.bfRels[:0]
 	for _, j := range s.running {
 		end := j.StartTime + j.Estimate
 		if end < now {
@@ -524,7 +529,10 @@ func (s *Scheduler) conservativeBackfill() bool {
 		}
 		rels = append(rels, release{t: end, n: j.Nodes})
 	}
-	p := newProfile(now, s.m.Alloc.FreeCount(), rels)
+	s.bfRels = rels
+	s.bfSort.rels = rels
+	sort.Sort(&s.bfSort)
+	p := newProfileFromSorted(now, s.m.Alloc.FreeCount(), rels)
 	// s.queue is already sorted by R1 (the pass sorts before calling us).
 	for i, j := range s.queue {
 		t := p.findSlot(j.Nodes, j.Estimate, now)

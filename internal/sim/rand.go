@@ -84,6 +84,20 @@ func (s *Source) Int63() int64 { return s.rng.Int63() }
 // Perm returns a pseudo-random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
+// PermInto fills buf with a pseudo-random permutation of [0, len(buf)),
+// drawing exactly the sequence Perm(len(buf)) draws (the Fisher–Yates
+// inside-out construction math/rand uses). Hot paths call it with a
+// reusable buffer to stay allocation-free without perturbing the stream:
+// after PermInto(buf) the source is in the same state as after
+// Perm(len(buf)).
+func (s *Source) PermInto(buf []int) {
+	for i := range buf {
+		j := s.rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
 
