@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train vet fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -52,8 +52,27 @@ bench-train:
 	$(GO) test -run TestFitAllocBudget ./internal/mlkit/
 	$(GO) test -run '^$$' -bench '^BenchmarkFit$$/^Forest$$/^fast$$' -benchtime 1x -benchmem .
 
+# bench-lifecycle guards the model-lifecycle cost contract: a scheduling
+# pass on a RUSH-gated scheduler whose DecisionHook is nil (lifecycle
+# compiled in but disabled) must perform zero heap allocations.
+bench-lifecycle:
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkPassNilLifecycle -benchmem ./internal/sched/); \
+	echo "$$out"; \
+	echo "$$out" | grep -q ' 0 allocs/op' || { echo "bench-lifecycle: Pass allocates with a nil lifecycle hook"; exit 1; }
+
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools' staticcheck when the binary is on
+# PATH and falls back to go vet otherwise, so CI gets the stronger
+# analysis where available without making it an install-time dependency.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: binary not found, falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
 
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
@@ -62,9 +81,9 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the full gate: formatting, static analysis, the test suite
-# under the race detector (race subsumes race-hot; both run so the hot
-# paths report first), the zero-alloc observability and gate-decision
-# guards, the training-path allocation guard, and the parallel-speedup
-# smoke.
-ci: fmt vet race-hot race bench-obs bench-gate bench-train bench-smoke
+# ci is the full gate: formatting, static analysis (vet plus
+# staticcheck when installed), the test suite under the race detector
+# (race subsumes race-hot; both run so the hot paths report first), the
+# zero-alloc observability, gate-decision, and nil-lifecycle guards, the
+# training-path allocation guard, and the parallel-speedup smoke.
+ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-smoke

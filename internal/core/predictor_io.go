@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rush/internal/dataset"
+	"rush/internal/lifecycle"
 	"rush/internal/mlkit"
 )
 
@@ -16,6 +17,7 @@ type predictorFile struct {
 	Model     json.RawMessage            `json:"model"`
 	Stats     map[string]dataset.AppStat `json:"stats"`
 	CVF1      float64                    `json:"cv_f1"`
+	Reference *lifecycle.Reference       `json:"reference,omitempty"`
 }
 
 // Save serializes the predictor to JSON.
@@ -32,10 +34,13 @@ func (p *Predictor) Save() ([]byte, error) {
 		Model:     blob,
 		Stats:     p.Stats,
 		CVF1:      p.CVF1,
+		Reference: p.Reference,
 	}, "", " ")
 }
 
-// LoadPredictor deserializes a predictor saved with Save.
+// LoadPredictor deserializes a predictor saved with Save. Predictors
+// saved before the lifecycle subsystem carry no reference profile; the
+// lifecycle then self-calibrates from the live stream.
 func LoadPredictor(data []byte) (*Predictor, error) {
 	var pf predictorFile
 	if err := json.Unmarshal(data, &pf); err != nil {
@@ -50,5 +55,6 @@ func LoadPredictor(data []byte) (*Predictor, error) {
 		ModelName: pf.ModelName,
 		Stats:     pf.Stats,
 		CVF1:      pf.CVF1,
+		Reference: pf.Reference,
 	}, nil
 }

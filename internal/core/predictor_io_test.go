@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"rush/internal/mlkit"
 )
 
 func TestPredictorSaveLoad(t *testing.T) {
@@ -42,4 +44,51 @@ func TestPredictorSaveLoadErrors(t *testing.T) {
 	if _, err := LoadPredictor([]byte(`{"model_name":"AdaBoost","model":{"kind":"alien"}}`)); err == nil {
 		t.Fatal("loading an unknown model kind should error")
 	}
+}
+
+func TestPredictorSaveLoadReference(t *testing.T) {
+	res := campaign(t)
+	p, err := TrainPredictor(res.JobScope, ModelAdaBoost, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Reference == nil {
+		t.Fatal("drift reference lost in round trip")
+	}
+	if loaded.Reference.VariationRate != p.Reference.VariationRate {
+		t.Fatal("variation rate changed in round trip")
+	}
+	for c := range p.Reference.Edges {
+		if len(loaded.Reference.Edges[c]) != len(p.Reference.Edges[c]) {
+			t.Fatalf("column %d edges changed in round trip", c)
+		}
+	}
+	// Pre-lifecycle predictor files carry no reference: loading must
+	// succeed and leave Reference nil (lifecycle self-calibrates).
+	old, err := LoadPredictor([]byte(`{"model_name":"AdaBoost","cv_f1":0.9,` +
+		`"stats":{"AMG":{"n":10,"mean":100,"std":5,"min":90}},` +
+		`"model":` + string(modelJSON(t, p)) + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Reference != nil {
+		t.Fatal("absent reference must load as nil")
+	}
+}
+
+func modelJSON(t *testing.T, p *Predictor) []byte {
+	t.Helper()
+	blob, err := mlkit.SaveModel(p.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
 }

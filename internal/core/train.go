@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rush/internal/dataset"
+	"rush/internal/lifecycle"
 	"rush/internal/mlkit"
 	"rush/internal/obs"
 )
@@ -127,6 +128,11 @@ type Predictor struct {
 	// CVF1 is the stratified k-fold F1 (variation class) of the deployed
 	// model on its training data.
 	CVF1 float64
+	// Reference profiles the training feature and label distributions
+	// for the lifecycle drift detector, captured at Fit so deployed
+	// drift is always judged against what the model actually learned
+	// from.
+	Reference *lifecycle.Reference
 }
 
 // TrainPredictor trains the deployed model (Section IV-A's second stage):
@@ -201,5 +207,6 @@ func TrainPredictorObserved(ds *dataset.Dataset, name ModelName, trainApps []str
 		ModelName: name,
 		Stats:     fullStats,
 		CVF1:      cvF1,
+		Reference: lifecycle.BuildReference(x, y, 0),
 	}, nil
 }

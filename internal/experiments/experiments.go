@@ -16,7 +16,9 @@ import (
 	"rush/internal/cluster"
 	"rush/internal/core"
 	"rush/internal/faults"
+	"rush/internal/lifecycle"
 	"rush/internal/machine"
+	"rush/internal/mlkit"
 	"rush/internal/obs"
 	"rush/internal/parallel"
 	"rush/internal/sched"
@@ -62,8 +64,17 @@ type Config struct {
 	// exceeds this value (0 keeps the paper's hard label rule).
 	ProbThreshold float64
 	// CanaryThreshold overrides the Canary policy's probe-slowdown
-	// threshold (0 keeps its default).
+	// threshold (0 keeps its default; negative values are rejected).
 	CanaryThreshold float64
+	// CanaryAllClasses makes the Canary policy gate compute-intensive
+	// jobs too, not just the network- and I/O-intensive classes.
+	CanaryAllClasses bool
+	// Lifecycle enables the online model lifecycle on RUSH trials:
+	// drift detection over the gate's feature stream plus the
+	// shadow/canary challenger registry (see internal/lifecycle). The
+	// zero value is fully disabled and leaves RUSH trials bit-identical
+	// to a build without the subsystem.
+	Lifecycle lifecycle.Config
 	// MaxSimTime aborts a trial that fails to drain (safety net;
 	// default 6 hours of simulated time).
 	MaxSimTime float64
@@ -149,6 +160,17 @@ type Trial struct {
 	BreakerTrips int
 	DegradedTime float64
 
+	// Model-lifecycle outcomes (all zero unless Config.Lifecycle is
+	// enabled on a RUSH trial). FirstDriftAt is the simulated time of
+	// the first drift detection, -1 when none fired.
+	DriftDetections   int     `json:",omitempty"`
+	FirstDriftAt      float64 `json:",omitempty"`
+	Retrains          int     `json:",omitempty"`
+	Promotions        int     `json:",omitempty"`
+	Rollbacks         int     `json:",omitempty"`
+	ShadowPredictions int     `json:",omitempty"`
+	CanaryActed       int     `json:",omitempty"`
+
 	// Trace is the trial's JSONL event stream (nil unless Config.Trace).
 	Trace []byte `json:",omitempty"`
 	// Metrics is the trial's metrics snapshot (nil unless Config.Metrics).
@@ -211,6 +233,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	var gate sched.Gate = sched.AlwaysStart{}
 	var rushGate *sched.RUSH
 	var canaryGate *sched.Canary
+	var lcm *lifecycle.Manager
 	switch policy {
 	case RUSH:
 		if pred == nil || pred.Model == nil {
@@ -223,12 +246,33 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		if cfg.DelayOnLittle {
 			rushGate.VariationLabels[1] = true // dataset.LabelLittle
 		}
+		modelName, modelSeed := pred.ModelName, seed
+		lcm, err = lifecycle.New(cfg.Lifecycle, lifecycle.Deps{
+			Host:            rushGate,
+			Now:             eng.Now,
+			Stats:           pred.Stats,
+			Reference:       pred.Reference,
+			NewModel:        func(s int64) (mlkit.Classifier, error) { return core.NewModel(modelName, modelSeed+s) },
+			VariationLabels: rushGate.VariationLabels,
+			Observer:        observer,
+			Hash:            eng.Source().Derive("lifecycle"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if lcm != nil {
+			rushGate.Hook = lcm
+		}
 		gate = rushGate
 	case Canary:
 		canaryGate = sched.NewCanary(m)
-		if cfg.CanaryThreshold > 0 {
+		if cfg.CanaryThreshold != 0 {
+			if cfg.CanaryThreshold < 0 {
+				return nil, fmt.Errorf("experiments: canary threshold must be positive, got %v", cfg.CanaryThreshold)
+			}
 			canaryGate.SlowdownThreshold = cfg.CanaryThreshold
 		}
+		canaryGate.AllClasses = cfg.CanaryAllClasses
 		gate = canaryGate
 	}
 	var r1, r2 sched.Policy = sched.FCFS{}, sched.FCFS{}
@@ -241,6 +285,9 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if lcm != nil {
+		s.OnComplete = lcm.JobCompleted
 	}
 
 	immediate := map[int]bool{}
@@ -305,6 +352,15 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		if rushGate.Breaker != nil {
 			tr.BreakerTrips = rushGate.Breaker.Trips
 		}
+	}
+	if lcm != nil {
+		tr.DriftDetections = lcm.DriftDetections
+		tr.FirstDriftAt = lcm.FirstDriftAt
+		tr.Retrains = lcm.Retrains
+		tr.Promotions = lcm.Promotions
+		tr.Rollbacks = lcm.Rollbacks
+		tr.ShadowPredictions = lcm.ShadowDecisions
+		tr.CanaryActed = lcm.CanaryActed
 	}
 	if canaryGate != nil {
 		tr.GateEvaluations = canaryGate.Evaluations

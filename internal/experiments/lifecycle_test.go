@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rush/internal/faults"
+	"rush/internal/lifecycle"
+	"rush/internal/workload"
+)
+
+// driftyLifecycle returns a lifecycle config scaled down to the ~190
+// decisions of one Table II trial (the deployed defaults are sized for
+// production-length streams).
+func driftyLifecycle() lifecycle.Config {
+	return lifecycle.Config{
+		Enabled:             true,
+		WindowDecisions:     48,
+		CheckEvery:          8,
+		MinDriftFeatures:    4,
+		DriftCooldown:       120,
+		RetrainMinSamples:   20,
+		RetrainMinVariation: 1,
+		RetrainCooldown:     300,
+	}
+}
+
+// TestLifecycleInertUntilActing pins the observe-only contract: an
+// enabled lifecycle whose canary never acts (fraction 0) watches every
+// decision, retrains, and shadows — but the schedule it produces is
+// identical to a run with the lifecycle disabled. Only an acting canary
+// may change outcomes.
+func TestLifecycleInertUntilActing(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	off, err := RunTrial(spec, RUSH, pred, 11, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Lifecycle: driftyLifecycle()}
+	cfg.Lifecycle.RetrainEvery = 400 // retrain eagerly: shadowing must still be inert
+	cfg.Lifecycle.CanaryFraction = 0
+	on, err := RunTrial(spec, RUSH, pred, 11, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off.Jobs, on.Jobs) {
+		t.Fatal("a never-acting lifecycle changed the schedule")
+	}
+	if off.Makespan != on.Makespan || off.GateVetoes != on.GateVetoes {
+		t.Fatalf("makespan/vetoes diverged: %v/%d vs %v/%d",
+			off.Makespan, off.GateVetoes, on.Makespan, on.GateVetoes)
+	}
+	if on.CanaryActed != 0 {
+		t.Fatalf("canary acted %d times at fraction 0", on.CanaryActed)
+	}
+}
+
+// TestDriftTripsDetectorEndToEnd drives a seeded telemetry regime change
+// through the full stack — fault injector, sampler, gate features,
+// lifecycle detector — and checks the detection surfaces everywhere it
+// should: trial counters, first-detection timestamp, and a typed drift
+// trace event.
+func TestDriftTripsDetectorEndToEnd(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	cfg := Config{
+		Trace:     true,
+		Lifecycle: driftyLifecycle(),
+		Faults: faults.Config{Drift: faults.DriftConfig{
+			Start: 600, MeanShift: 1.5, NoiseBoost: 0.5,
+		}},
+	}
+	tr, err := RunTrial(spec, RUSH, pred, 13, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DriftDetections < 1 {
+		t.Fatal("seeded telemetry drift did not trip the detector")
+	}
+	if tr.FirstDriftAt < 600 {
+		t.Fatalf("first detection at %v, before drift onset at 600", tr.FirstDriftAt)
+	}
+	if !bytes.Contains(tr.Trace, []byte(`"kind":"drift"`)) {
+		t.Fatal("trace carries no typed drift event")
+	}
+	// A calm twin of the same seed must stay quiet: the support-gated
+	// detector keys on the injected shift, not on the benign load
+	// meander (which saturates raw PSI but stays inside the training
+	// support).
+	calm, err := RunTrial(spec, RUSH, pred, 13, Config{Lifecycle: driftyLifecycle()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calm.DriftDetections != 0 {
+		t.Fatalf("calm run reported %d drift detections", calm.DriftDetections)
+	}
+}
+
+// TestCompoundDriftExercisesFullLifecycle runs the compound scenario
+// (telemetry drift + app-mix rotation) over a small seed batch and
+// checks the whole lifecycle ladder is reachable end to end with real
+// forests: retrains fire in most trials, and at least one challenger
+// survives shadow into the canary and resolves — promoted or rolled
+// back — with the outcome visible both as Trial counters and as
+// lifecycle metrics.
+func TestCompoundDriftExercisesFullLifecycle(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	compound := DefaultDriftScenarios()[4:5]
+	if compound[0].Name != "compound" {
+		t.Fatalf("scenario 4 is %q, want compound", compound[0].Name)
+	}
+	rows, err := RunDriftExperiment(spec, pred, compound, 8, 100, Config{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det, retrains, resolved, acted int
+	var mRetrains, mPromos, mRolls float64
+	for _, tr := range rows[0].Trials {
+		det += tr.DriftDetections
+		retrains += tr.Retrains
+		resolved += tr.Promotions + tr.Rollbacks
+		acted += tr.CanaryActed
+		for _, c := range tr.Metrics.Counters {
+			switch c.Name {
+			case "lifecycle_retrains_total":
+				mRetrains += c.Value
+			case "lifecycle_promotions_total":
+				mPromos += c.Value
+			case "lifecycle_rollbacks_total":
+				mRolls += c.Value
+			}
+		}
+	}
+	if det < 8 {
+		t.Fatalf("compound drift detected %d times across 8 trials, want >= 8", det)
+	}
+	if retrains < 4 {
+		t.Fatalf("retrains = %d across 8 trials, want >= 4", retrains)
+	}
+	if resolved < 1 {
+		t.Fatalf("no challenger was ever promoted or rolled back across 8 trials")
+	}
+	if acted == 0 {
+		t.Fatal("a resolved canary must have acted on decisions")
+	}
+	if mRetrains != float64(retrains) || mPromos+mRolls != float64(resolved) {
+		t.Fatalf("metrics disagree with counters: retrains %v/%d, resolutions %v/%d",
+			mRetrains, retrains, mPromos+mRolls, resolved)
+	}
+}
+
+// TestDriftExperimentDeterministicAcrossWorkers pins the drift sweep's
+// worker-count invariance: rows (counters, job records, everything) are
+// identical at 1 and 8 workers.
+func TestDriftExperimentDeterministicAcrossWorkers(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	scenarios := DefaultDriftScenarios()[:2] // calm + mean-ramp
+	run := func(workers int) []DriftRow {
+		rows, err := RunDriftExperiment(spec, pred, scenarios, 2, 900, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatal("drift experiment rows differ across worker counts")
+	}
+}
+
+// TestInteractingFaultsFailOpenOncePerDecision is the interacting-fault
+// drill: the predictor is unreachable the whole run while telemetry is
+// simultaneously lossy and freezing and nodes churn. Every gate decision
+// must fail open exactly once (one gate event, one reason, no double
+// counting between the model-down and stale-telemetry paths) and wait
+// accounting must stay consistent across node-failure requeues.
+func TestInteractingFaultsFailOpenOncePerDecision(t *testing.T) {
+	pred := predictor(t)
+	spec, _ := workload.SpecByName("ADAA")
+	cfg := Config{
+		Trace: true, Metrics: true,
+		Faults: faults.Config{
+			ModelOutage:   1,
+			TelemetryLoss: 0.4,
+			FreezeProb:    0.2,
+			NodeMTBF:      20 * 3600,
+			NodeMTTR:      600,
+		},
+	}
+	tr, err := RunTrial(spec, RUSH, pred, 17, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.GateEvaluations != 0 {
+		t.Fatalf("unreachable model evaluated %d times", tr.GateEvaluations)
+	}
+	if tr.GateDegraded == 0 {
+		t.Fatal("full outage must degrade gate decisions")
+	}
+
+	// One gate event per decision; every non-override is a fail-open
+	// with exactly one recognized reason.
+	failOpens, overrides := 0, 0
+	for _, line := range bytes.Split(tr.Trace, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Kind     string `json:"kind"`
+			Decision string `json:"decision"`
+			Reason   string `json:"reason"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Kind != "gate" {
+			continue
+		}
+		switch ev.Decision {
+		case "fail-open":
+			failOpens++
+			switch ev.Reason {
+			case "breaker-open", "model-down", "stale-telemetry", "missing-features":
+			default:
+				t.Fatalf("fail-open with unrecognized reason %q", ev.Reason)
+			}
+		case "override":
+			overrides++
+		default:
+			t.Fatalf("gate decision %q with the model unreachable", ev.Decision)
+		}
+	}
+	if failOpens != tr.GateDegraded {
+		t.Fatalf("trace has %d fail-open events, counter says %d", failOpens, tr.GateDegraded)
+	}
+	if overrides != tr.ThresholdOverrides {
+		t.Fatalf("trace has %d overrides, counter says %d", overrides, tr.ThresholdOverrides)
+	}
+
+	// The per-reason metrics must partition the degraded total exactly.
+	var reasonSum, degradedMetric float64
+	for _, mv := range tr.Metrics.Counters {
+		switch mv.Name {
+		case "gate_fail_open_breaker_open_total", "gate_fail_open_model_down_total",
+			"gate_fail_open_stale_telemetry_total", "gate_fail_open_missing_features_total":
+			reasonSum += mv.Value
+		case "gate_degraded_total":
+			degradedMetric = mv.Value
+		}
+	}
+	if reasonSum != float64(tr.GateDegraded) || degradedMetric != float64(tr.GateDegraded) {
+		t.Fatalf("per-reason fail-opens sum to %v, degraded metric %v, counter %d",
+			reasonSum, degradedMetric, tr.GateDegraded)
+	}
+
+	// Wait accounting across requeues: a job's recorded wait can never
+	// exceed queue-visible time before its final start, matches it
+	// exactly for never-killed jobs, and every record stays internally
+	// ordered even after kills and retries.
+	const eps = 1e-6
+	requeued := 0
+	for _, j := range tr.Jobs {
+		if j.Failed {
+			continue
+		}
+		if j.Wait < -eps || j.Start < j.Submit-eps || j.End <= j.Start {
+			t.Fatalf("job %d inconsistent after faults: %+v", j.ID, j)
+		}
+		if j.Wait > j.Start-j.Submit+eps {
+			t.Fatalf("job %d wait %v exceeds submit-to-start span %v", j.ID, j.Wait, j.Start-j.Submit)
+		}
+		if j.Retries == 0 {
+			if d := j.Wait - (j.Start - j.Submit); d > eps || d < -eps {
+				t.Fatalf("clean job %d wait %v != start-submit %v", j.ID, j.Wait, j.Start-j.Submit)
+			}
+		} else {
+			requeued++
+		}
+	}
+	if tr.JobKills > 0 && requeued == 0 && tr.FailedJobs == 0 {
+		t.Fatal("kills occurred but no job records a retry or failure")
+	}
+}

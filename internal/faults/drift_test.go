@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"rush/internal/cluster"
+	"rush/internal/sim"
+	"rush/internal/telemetry"
+)
+
+func TestDriftConfigValidate(t *testing.T) {
+	bad := []DriftConfig{
+		{Start: -1, MeanShift: 0.5},
+		{Ramp: -1, MeanShift: 0.5},
+		{MeanShift: -1},
+		{MeanShift: -1.5},
+		{NoiseBoost: -0.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("drift config %+v should be invalid", c)
+		}
+	}
+	ok := []DriftConfig{
+		{},
+		{Start: 100, Ramp: 300, MeanShift: 0.5},
+		{MeanShift: -0.5},
+		{NoiseBoost: 0.3},
+	}
+	for _, c := range ok {
+		if err := c.Validate(); err != nil {
+			t.Errorf("drift config %+v should be valid: %v", c, err)
+		}
+	}
+}
+
+func TestDriftConfigEnabled(t *testing.T) {
+	if (DriftConfig{Start: 100, Ramp: 50}).Enabled() {
+		t.Fatal("a drift with no shift and no noise must be disabled")
+	}
+	if !(DriftConfig{MeanShift: 0.1}).Enabled() || !(DriftConfig{NoiseBoost: 0.1}).Enabled() {
+		t.Fatal("mean shift or noise boost must enable the drift")
+	}
+	if !(Config{Drift: DriftConfig{MeanShift: 0.1}}).Enabled() {
+		t.Fatal("drift must enable the fault config")
+	}
+}
+
+func TestAttachInstallsDrift(t *testing.T) {
+	m := testMachine(t, 5)
+	if _, err := Attach(m, Config{Drift: DriftConfig{MeanShift: 0.5}}, sim.NewSource(5)); err != nil {
+		t.Fatal(err)
+	}
+	// The drifted sampler must report inflated counters.
+	clean := testMachine(t, 5)
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+	t1 := telemetry.WindowSeconds
+	a := clean.Sampler.AggregateWindow(clean.Net.History(), nodes, t1)
+	b := m.Sampler.AggregateWindow(m.Net.History(), nodes, t1)
+	changed := false
+	for ci := range a.Mean {
+		if !math.IsNaN(a.Mean[ci]) && a.Mean[ci] != 0 && b.Mean[ci] != a.Mean[ci] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("drift-enabled machine samples identical to clean machine")
+	}
+}
+
+func TestAttachRejectsUnknownDriftTable(t *testing.T) {
+	m := testMachine(t, 6)
+	_, err := Attach(m, Config{Drift: DriftConfig{MeanShift: 0.5, Tables: []string{"no-such-table"}}}, sim.NewSource(6))
+	if err == nil {
+		t.Fatal("unknown drift table must be rejected")
+	}
+}
+
+func TestDriftStrengthRamp(t *testing.T) {
+	d, err := newTelemetryDrift(DriftConfig{Start: 300, Ramp: 300, MeanShift: 1}, telemetry.Schema(), sim.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickAt := func(sec float64) int64 { return int64(sec / telemetry.SamplePeriod) }
+	if s := d.strength(tickAt(0)); s != 0 {
+		t.Fatalf("strength before start = %v, want 0", s)
+	}
+	if s := d.strength(tickAt(450)); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("mid-ramp strength = %v, want 0.5", s)
+	}
+	if s := d.strength(tickAt(900)); s != 1 {
+		t.Fatalf("post-ramp strength = %v, want 1", s)
+	}
+	// Abrupt regime change: full strength at start.
+	abrupt, _ := newTelemetryDrift(DriftConfig{Start: 300, MeanShift: 1}, telemetry.Schema(), sim.NewSource(1))
+	if s := abrupt.strength(tickAt(300)); s != 1 {
+		t.Fatalf("abrupt drift at start = %v, want 1", s)
+	}
+}
+
+func TestDriftPerturbIsPureAndScoped(t *testing.T) {
+	schema := telemetry.Schema()
+	d, err := newTelemetryDrift(DriftConfig{MeanShift: 0.5, NoiseBoost: 0.2, Tables: []string{schema[0].Table}},
+		schema, sim.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purity: identical inputs, identical outputs, regardless of history.
+	v1 := d.Perturb(0, 3, 100, 10)
+	for i := 0; i < 5; i++ {
+		d.Perturb(i, 7, int64(i), 5) // interleave unrelated queries
+	}
+	if v2 := d.Perturb(0, 3, 100, 10); v2 != v1 {
+		t.Fatalf("Perturb is not pure: %v then %v", v1, v2)
+	}
+	if v1 <= 10 {
+		t.Fatalf("affected counter must inflate in expectation-ish range, got %v from 10", v1)
+	}
+	// Scoping: counters outside the configured table are untouched.
+	for ci := range schema {
+		if schema[ci].Table != schema[0].Table {
+			if got := d.Perturb(ci, 3, 100, 10); got != 10 {
+				t.Fatalf("unaffected counter %d perturbed: %v", ci, got)
+			}
+			break
+		}
+	}
+}

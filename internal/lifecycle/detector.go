@@ -1,0 +1,356 @@
+package lifecycle
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultBins is the quantile-bin count the drift detector uses when the
+// configuration leaves Bins at zero. Eight bins keeps the reference
+// profile small (the predictor file carries it) while leaving PSI enough
+// resolution to notice a shifted mean or a fattened tail.
+const DefaultBins = 8
+
+// Reference is the training-time distribution profile the streaming drift
+// detector compares live features against. It is captured once at Fit
+// from the training matrix and serialized alongside the predictor, so a
+// deployed gate can detect drift against the distribution its model
+// actually learned from, not against whatever the stream looked like
+// when the simulation happened to start.
+type Reference struct {
+	// Edges holds, per feature, the interior quantile-bin edges (sorted,
+	// deduplicated). A nil entry marks a feature that was constant or
+	// all-NaN in training; such features are excluded from PSI scoring.
+	Edges [][]float64 `json:"edges"`
+	// Props holds, per feature, the training proportion of samples in
+	// each of the len(Edges[i])+1 bins (non-NaN samples only).
+	Props [][]float64 `json:"props"`
+	// Lo and Hi hold, per feature, the training support (min and max
+	// non-NaN value). The feature-drift signal requires live values to
+	// leave this support by a configurable margin: live decisions are
+	// heavily autocorrelated (consecutive decisions share telemetry
+	// windows), so a live window that merely *concentrates* inside the
+	// training range saturates PSI without any real shift. NaN entries
+	// mark unprofiled features.
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+	// VariationRate is the fraction of training labels equal to the
+	// variation class, used by the label-rate shift check; -1 when the
+	// training labels were unavailable (disables the label check).
+	VariationRate float64 `json:"variation_rate"`
+}
+
+// BuildReference profiles the training matrix x (rows are samples) and
+// labels y into a drift reference with the given bin count (0 means
+// DefaultBins). Columns with fewer than two distinct non-NaN values get
+// nil edges and are skipped by the detector. An empty label slice sets
+// VariationRate to -1, disabling the label-rate check.
+func BuildReference(x [][]float64, y []int, bins int) *Reference {
+	if bins <= 0 {
+		bins = DefaultBins
+	}
+	if len(x) == 0 {
+		return &Reference{VariationRate: -1}
+	}
+	nfeat := len(x[0])
+	ref := &Reference{
+		Edges: make([][]float64, nfeat),
+		Props: make([][]float64, nfeat),
+		Lo:    make([]float64, nfeat),
+		Hi:    make([]float64, nfeat),
+	}
+	for f := range ref.Lo {
+		ref.Lo[f] = math.NaN()
+		ref.Hi[f] = math.NaN()
+	}
+	col := make([]float64, 0, len(x))
+	for f := 0; f < nfeat; f++ {
+		col = col[:0]
+		for _, row := range x {
+			if v := row[f]; !math.IsNaN(v) {
+				col = append(col, v)
+			}
+		}
+		if len(col) < 2 {
+			continue
+		}
+		sort.Float64s(col)
+		ref.Lo[f] = col[0]
+		ref.Hi[f] = col[len(col)-1]
+		if col[0] == col[len(col)-1] {
+			continue // constant feature: no distribution to drift
+		}
+		edges := make([]float64, 0, bins-1)
+		for b := 1; b < bins; b++ {
+			e := col[b*len(col)/bins]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		props := make([]float64, len(edges)+1)
+		for _, v := range col {
+			props[binIndex(edges, v)]++
+		}
+		for i := range props {
+			props[i] /= float64(len(col))
+		}
+		ref.Edges[f] = edges
+		ref.Props[f] = props
+	}
+	if len(y) == 0 {
+		ref.VariationRate = -1
+		return ref
+	}
+	varCount := 0
+	for _, label := range y {
+		if label == variationClass {
+			varCount++
+		}
+	}
+	ref.VariationRate = float64(varCount) / float64(len(y))
+	return ref
+}
+
+// binIndex returns which of the len(edges)+1 bins v falls into, with
+// values below the first edge in bin 0 and values >= the last edge in
+// the final bin.
+func binIndex(edges []float64, v float64) int {
+	// Linear scan: edge counts are tiny (DefaultBins-1) and a branch-
+	// predictable loop beats sort.SearchFloat64s at this size.
+	for i, e := range edges {
+		if v < e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+// psiEps regularizes empty bins so PSI stays finite; the standard choice
+// in industrial PSI monitors.
+const psiEps = 1e-4
+
+// psi returns the population stability index between a live bin
+// distribution and the reference proportions:
+//
+//	PSI = sum_b (live_b - ref_b) * ln(live_b / ref_b)
+//
+// Conventional reading: < 0.1 stable, 0.1–0.25 moderate shift, > 0.25
+// significant shift (the default trip threshold).
+func psi(live, ref []float64) float64 {
+	var s float64
+	for b := range ref {
+		p := ref[b]
+		q := live[b]
+		if p < psiEps {
+			p = psiEps
+		}
+		if q < psiEps {
+			q = psiEps
+		}
+		s += (q - p) * math.Log(q/p)
+	}
+	return s
+}
+
+// skipBin marks a NaN (unscored) observation in the detector ring.
+const skipBin = 255
+
+// detector maintains rolling per-feature bin histograms over the last
+// window evaluated decisions plus a rolling realized-label window, and
+// scores both against the reference. All state lives in flat reusable
+// buffers: observing a decision allocates nothing.
+type detector struct {
+	ref    *Reference
+	window int
+
+	// ring stores, row-major by decision slot, the bin index of each
+	// scored feature (skipBin for NaN or unprofiled features).
+	ring   []uint8
+	slot   int
+	filled int
+
+	// counts[f*nbins+b] is the live histogram; nbins is the per-feature
+	// maximum bin count (uniform: len(edges)+1 <= DefaultBins).
+	counts []int32
+	nbins  int
+
+	// Out-of-support tracking: outRing mirrors ring with a 0/1 flag per
+	// observation (1 = the value left the reference support by more than
+	// the margin band), outCounts is its rolling per-feature sum, and
+	// band is the precomputed per-feature margin (NaN disables the
+	// support gate for that feature, reducing it to pure PSI).
+	outRing   []uint8
+	outCounts []int32
+	band      []float64
+
+	// liveBuf is scratch for one feature's live proportions during a
+	// check.
+	liveBuf []float64
+
+	// Label ring for the realized variation-rate check.
+	labels    []uint8
+	labelSlot int
+	labelN    int
+	varCount  int
+}
+
+// newDetector builds a streaming detector over ref with the given
+// feature window and label window sizes. margin widens the reference
+// support band the feature signal requires live values to leave: the
+// band for feature f is margin*max(|Lo[f]|, |Hi[f]|) beyond [Lo, Hi].
+func newDetector(ref *Reference, window, labelWindow int, margin float64) *detector {
+	nbins := 0
+	for _, e := range ref.Edges {
+		if len(e)+1 > nbins {
+			nbins = len(e) + 1
+		}
+	}
+	nfeat := len(ref.Edges)
+	band := make([]float64, nfeat)
+	for f := range band {
+		if f >= len(ref.Lo) || f >= len(ref.Hi) {
+			band[f] = math.NaN() // pre-support reference: PSI alone decides
+			continue
+		}
+		s := math.Max(math.Abs(ref.Lo[f]), math.Abs(ref.Hi[f]))
+		if s == 0 {
+			s = 1
+		}
+		band[f] = margin * s
+	}
+	return &detector{
+		ref:       ref,
+		window:    window,
+		ring:      make([]uint8, window*nfeat),
+		counts:    make([]int32, nfeat*nbins),
+		nbins:     nbins,
+		liveBuf:   make([]float64, nbins),
+		labels:    make([]uint8, labelWindow),
+		outRing:   make([]uint8, window*nfeat),
+		outCounts: make([]int32, nfeat),
+		band:      band,
+	}
+}
+
+// observe folds one evaluated decision's feature vector into the rolling
+// histograms, evicting the window's oldest decision once full.
+func (d *detector) observe(feats []float64) {
+	nfeat := len(d.ref.Edges)
+	if nfeat == 0 || len(feats) < nfeat {
+		return
+	}
+	row := d.ring[d.slot*nfeat : (d.slot+1)*nfeat]
+	outRow := d.outRing[d.slot*nfeat : (d.slot+1)*nfeat]
+	evict := d.filled == d.window
+	for f := 0; f < nfeat; f++ {
+		if evict {
+			if row[f] != skipBin {
+				d.counts[f*d.nbins+int(row[f])]--
+			}
+			d.outCounts[f] -= int32(outRow[f])
+		}
+		edges := d.ref.Edges[f]
+		v := feats[f]
+		if edges == nil || math.IsNaN(v) {
+			row[f] = skipBin
+			outRow[f] = 0
+			continue
+		}
+		b := binIndex(edges, v)
+		row[f] = uint8(b)
+		d.counts[f*d.nbins+b]++
+		outRow[f] = 0
+		if band := d.band[f]; math.IsNaN(band) ||
+			v > d.ref.Hi[f]+band || v < d.ref.Lo[f]-band {
+			outRow[f] = 1
+			d.outCounts[f]++
+		}
+	}
+	d.slot++
+	if d.slot == d.window {
+		d.slot = 0
+	}
+	if d.filled < d.window {
+		d.filled++
+	}
+}
+
+// checkFeatures scores every profiled feature's live histogram against
+// the reference, returning how many features exceed threshold and the
+// maximum PSI seen. ready is false until the window has filled once —
+// partial windows over-weight early decisions.
+func (d *detector) checkFeatures(threshold float64) (over int, maxPSI float64, ready bool) {
+	if d.filled < d.window {
+		return 0, 0, false
+	}
+	for f, edges := range d.ref.Edges {
+		if edges == nil {
+			continue
+		}
+		nb := len(edges) + 1
+		var total int32
+		for b := 0; b < nb; b++ {
+			total += d.counts[f*d.nbins+b]
+		}
+		if total == 0 {
+			continue // every observation of this feature was NaN
+		}
+		live := d.liveBuf[:nb]
+		for b := 0; b < nb; b++ {
+			live[b] = float64(d.counts[f*d.nbins+b]) / float64(total)
+		}
+		s := psi(live, d.ref.Props[f])
+		// A drifted feature must both redistribute (PSI) and leave the
+		// reference support for most of the window: autocorrelated live
+		// streams concentrate into single bins and saturate PSI without
+		// any real shift, so PSI alone cannot be trusted here.
+		if 2*d.outCounts[f] <= total {
+			continue
+		}
+		if s > maxPSI {
+			maxPSI = s
+		}
+		if s > threshold {
+			over++
+		}
+	}
+	return over, maxPSI, true
+}
+
+// observeLabel folds one realized outcome label into the rolling label
+// window.
+func (d *detector) observeLabel(label int) {
+	if len(d.labels) == 0 {
+		return
+	}
+	isVar := uint8(0)
+	if label == variationClass {
+		isVar = 1
+	}
+	if d.labelN == len(d.labels) {
+		d.varCount -= int(d.labels[d.labelSlot])
+	}
+	d.labels[d.labelSlot] = isVar
+	d.varCount += int(isVar)
+	d.labelSlot++
+	if d.labelSlot == len(d.labels) {
+		d.labelSlot = 0
+	}
+	if d.labelN < len(d.labels) {
+		d.labelN++
+	}
+}
+
+// checkLabels returns the absolute shift of the rolling realized
+// variation rate from the training rate. ready is false until minLabels
+// outcomes have been observed or the training rate is unknown.
+func (d *detector) checkLabels(refRate float64, minLabels int) (delta float64, ready bool) {
+	if refRate < 0 || d.labelN < minLabels {
+		return 0, false
+	}
+	liveRate := float64(d.varCount) / float64(d.labelN)
+	return math.Abs(liveRate - refRate), true
+}

@@ -1,0 +1,84 @@
+package lifecycle
+
+// sampleWindow is the rolling training buffer the lifecycle retrains
+// challengers from: the most recent cap labeled decisions, feature
+// vectors copied into per-slot reusable buffers so steady-state
+// operation allocates nothing once the ring has been around once.
+type sampleWindow struct {
+	cap    int
+	feats  [][]float64
+	labels []int
+	slot   int
+	n      int
+	varN   int // variation labels currently in the window
+}
+
+func newSampleWindow(cap int) *sampleWindow {
+	return &sampleWindow{
+		cap:    cap,
+		feats:  make([][]float64, cap),
+		labels: make([]int, cap),
+	}
+}
+
+// add copies one labeled decision into the ring.
+func (w *sampleWindow) add(feats []float64, label int) {
+	if w.cap == 0 {
+		return
+	}
+	if w.n == w.cap && w.labels[w.slot] == variationClass {
+		w.varN--
+	}
+	buf := w.feats[w.slot]
+	if cap(buf) < len(feats) {
+		buf = make([]float64, len(feats))
+	}
+	buf = buf[:len(feats)]
+	copy(buf, feats)
+	w.feats[w.slot] = buf
+	w.labels[w.slot] = label
+	if label == variationClass {
+		w.varN++
+	}
+	w.slot++
+	if w.slot == w.cap {
+		w.slot = 0
+	}
+	if w.n < w.cap {
+		w.n++
+	}
+}
+
+// len returns how many labeled decisions the window holds.
+func (w *sampleWindow) len() int { return w.n }
+
+// variationCount returns how many of them carry the variation label.
+func (w *sampleWindow) variationCount() int { return w.varN }
+
+// classCount returns how many distinct labels the window holds.
+func (w *sampleWindow) classCount() int {
+	var seen [8]bool
+	c := 0
+	for i := 0; i < w.n; i++ {
+		l := w.labels[i]
+		if l >= 0 && l < len(seen) && !seen[l] {
+			seen[l] = true
+			c++
+		}
+	}
+	return c
+}
+
+// snapshot copies the window into fresh training slices (oldest-first
+// order is irrelevant to the fitters, so ring order is kept). The copies
+// are handed to Fit and retained for reference rebuilding, so they must
+// not alias the ring.
+func (w *sampleWindow) snapshot() (x [][]float64, y []int) {
+	x = make([][]float64, w.n)
+	y = make([]int, w.n)
+	for i := 0; i < w.n; i++ {
+		x[i] = append([]float64(nil), w.feats[i]...)
+		y[i] = w.labels[i]
+	}
+	return x, y
+}

@@ -57,6 +57,7 @@ type Breaker struct {
 	obs    *obs.Observer
 	cTrips *obs.Counter
 	cTrans *obs.Counter
+	gState *obs.Gauge
 }
 
 // NewBreaker returns a closed breaker with the default thresholds.
@@ -66,13 +67,16 @@ func NewBreaker() *Breaker {
 
 // Observe attaches an observer: every state transition (including the
 // implicit open -> half-open advance inside State) emits exactly one
-// breaker trace event, and trip/transition counters are maintained in
-// the metrics registry.
+// breaker trace event, and trip/transition counters plus a breaker_state
+// gauge (0 closed, 1 open, 2 half-open) are maintained in the metrics
+// registry.
 func (b *Breaker) Observe(o *obs.Observer) {
 	b.obs = o
 	reg := o.Metrics()
 	b.cTrips = reg.Counter("breaker_trips_total")
 	b.cTrans = reg.Counter("breaker_transitions_total")
+	b.gState = reg.Gauge("breaker_state")
+	b.gState.Set(float64(b.state))
 }
 
 // transition moves the breaker to state to, emitting one trace event per
@@ -85,6 +89,7 @@ func (b *Breaker) transition(now float64, to BreakerState) {
 		return
 	}
 	b.cTrans.Inc()
+	b.gState.Set(float64(to))
 	if b.obs != nil {
 		b.obs.Emit(obs.Event{Time: now, Kind: obs.KindBreaker, From: from.String(), To: to.String()})
 	}

@@ -13,6 +13,28 @@ import (
 	"rush/internal/telemetry"
 )
 
+// DecisionHook observes every RUSH gate decision and may adjust its
+// outcome. The model-lifecycle registry implements it to shadow-predict
+// with a challenger model on every evaluated decision and, during a
+// canary phase, to act on a seeded fraction of them. A nil hook costs a
+// single pointer check per decision, so leaving the hook compiled in is
+// free (pinned by BenchmarkPassNilLifecycle / `make bench-lifecycle`).
+type DecisionHook interface {
+	// Decide is called after the incumbent model evaluated feats and
+	// returns the final veto decision (implementations that only observe
+	// return veto unchanged). feats aliases the gate's reusable buffer
+	// and class is the incumbent's predicted label; implementations must
+	// copy anything they retain across decisions.
+	Decide(j *Job, feats []float64, class int, veto bool) bool
+	// FailOpen is called when the decision failed open — the job
+	// launches without any model prediction. reason is one of the
+	// obs.Reason* constants.
+	FailOpen(j *Job, reason string)
+	// Override is called when the job exhausted its skip threshold and
+	// is forced through without consulting the model.
+	Override(j *Job)
+}
+
 // RUSH is the paper's model-based gate (Algorithm 2): before a job
 // launches, build the live Table I feature vector from the current system
 // counters on the job's tentative nodes plus fresh MPI probe timings, run
@@ -58,6 +80,10 @@ type RUSH struct {
 	// predictor stops being consulted at all; nil disables it. See
 	// Breaker for the fail-open semantics.
 	Breaker *Breaker
+	// Hook, when set, observes every decision and may adjust evaluated
+	// ones (the model-lifecycle registry's shadow/canary path). Nil is
+	// the zero-overhead default.
+	Hook DecisionHook
 
 	// DisableFastPath routes LiveFeatures and decide through the
 	// allocating reference implementations: full window recompute
@@ -188,6 +214,9 @@ func (g *RUSH) Allow(j *Job, alloc cluster.Allocation) bool {
 		g.ThresholdOverrides++
 		g.met.overrides.Inc()
 		g.emit(now, j, obs.DecisionOverride, -1, "", -1, -1)
+		if g.Hook != nil {
+			g.Hook.Override(j)
+		}
 		return true
 	}
 	if g.Breaker != nil && !g.Breaker.Ready(now) {
@@ -197,6 +226,9 @@ func (g *RUSH) Allow(j *Job, alloc cluster.Allocation) bool {
 		g.met.degraded.Inc()
 		g.met.failBreaker.Inc()
 		g.emit(now, j, obs.DecisionFailOpen, -1, obs.ReasonBreakerOpen, -1, -1)
+		if g.Hook != nil {
+			g.Hook.FailOpen(j, obs.ReasonBreakerOpen)
+		}
 		return true
 	}
 	if g.ModelDown != nil && g.ModelDown() {
@@ -223,6 +255,12 @@ func (g *RUSH) Allow(j *Job, alloc cluster.Allocation) bool {
 		g.Breaker.Success(now)
 	}
 	veto, class := g.decide(feats)
+	if g.Hook != nil {
+		// The hook sees the incumbent's verdict and may flip it (canary
+		// decisions); veto/start accounting below reflects the final
+		// outcome, so trial counters describe what actually happened.
+		veto = g.Hook.Decide(j, feats, class, veto)
+	}
 	if veto {
 		g.Vetoes++
 		g.met.vetoes.Inc()
@@ -243,8 +281,20 @@ func (g *RUSH) failOpen(now float64, j *Job, reason string, age, missing float64
 	g.met.degraded.Inc()
 	g.failReason(reason).Inc()
 	g.emit(now, j, obs.DecisionFailOpen, -1, reason, age, missing)
+	if g.Hook != nil {
+		g.Hook.FailOpen(j, reason)
+	}
 	return true
 }
+
+// Model returns the gate's current classifier (the incumbent).
+func (g *RUSH) Model() mlkit.Classifier { return g.model }
+
+// SwapModel replaces the gate's classifier in place — the model
+// lifecycle promotes a vetted challenger this way. The next decision
+// uses the new model; the probability buffer resizes on demand, so a
+// model with a different class count is safe.
+func (g *RUSH) SwapModel(m mlkit.Classifier) { g.model = m }
 
 // DegradedTime returns the simulated seconds spent with the breaker
 // open, or 0 when the breaker is disabled.

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"rush/internal/cluster"
+)
+
+// doubler is a drift model that doubles every counter at or after a
+// start tick.
+type doubler struct{ startTick int64 }
+
+func (d doubler) Perturb(ci int, node cluster.NodeID, tick int64, v float64) float64 {
+	if tick >= d.startTick {
+		return 2 * v
+	}
+	return v
+}
+
+func TestSamplerDriftPerturbsValues(t *testing.T) {
+	st, clean, now := newEnv()
+	_, drifted, _ := newEnv()
+	drifted.SetDrift(doubler{startTick: 0})
+	*now = WindowSeconds
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+
+	a := clean.AggregateWindow(st.History(), nodes, *now)
+	b := drifted.AggregateWindow(st.History(), nodes, *now)
+	diff := false
+	for ci := range a.Mean {
+		if math.IsNaN(a.Mean[ci]) {
+			continue
+		}
+		if a.Mean[ci] != 0 && math.Abs(b.Mean[ci]-2*a.Mean[ci]) > 1e-9*math.Abs(a.Mean[ci]) {
+			t.Fatalf("counter %d: drifted mean %v, want doubled %v", ci, b.Mean[ci], 2*a.Mean[ci])
+		}
+		if a.Mean[ci] != 0 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("window had no nonzero counters to compare")
+	}
+}
+
+func TestSamplerNilDriftIsIdentity(t *testing.T) {
+	st, s1, now := newEnv()
+	_, s2, _ := newEnv()
+	s2.SetDrift(nil)
+	*now = WindowSeconds
+	nodes := []cluster.NodeID{0, 1}
+	a := s1.AggregateWindow(st.History(), nodes, *now)
+	b := s2.AggregateWindow(st.History(), nodes, *now)
+	for ci := range a.Mean {
+		if a.Mean[ci] != b.Mean[ci] && !(math.IsNaN(a.Mean[ci]) && math.IsNaN(b.Mean[ci])) {
+			t.Fatalf("counter %d: nil drift changed mean %v -> %v", ci, a.Mean[ci], b.Mean[ci])
+		}
+	}
+}
+
+func TestSamplerSetDriftFlushesCache(t *testing.T) {
+	st, s, now := newEnv()
+	*now = WindowSeconds
+	nodes := []cluster.NodeID{0}
+	before := s.AggregateWindow(st.History(), nodes, *now) // populates the row cache
+	s.SetDrift(doubler{startTick: 0})
+	after := s.AggregateWindow(st.History(), nodes, *now)
+	changed := false
+	for ci := range before.Mean {
+		if before.Mean[ci] != 0 && !math.IsNaN(before.Mean[ci]) && after.Mean[ci] != before.Mean[ci] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("cached rows survived SetDrift: post-drift window identical to pre-drift")
+	}
+}
+
+func TestWindowAggInvalidatesOnDriftChange(t *testing.T) {
+	st, s, now := newEnv()
+	nodes := []cluster.NodeID{0, 1, 2, 3}
+	w := s.NewWindowAgg(st.History(), nodes)
+	*now = WindowSeconds
+	before := w.Aggregate(*now) // fills the partials cache
+	s.SetDrift(doubler{startTick: 0})
+	after := w.Aggregate(*now)
+	direct := s.AggregateWindow(st.History(), nodes, *now)
+	for ci := range after.Mean {
+		if after.Mean[ci] != direct.Mean[ci] && !(math.IsNaN(after.Mean[ci]) && math.IsNaN(direct.Mean[ci])) {
+			t.Fatalf("counter %d: windowagg %v != direct %v after drift swap", ci, after.Mean[ci], direct.Mean[ci])
+		}
+	}
+	changed := false
+	for ci := range before.Mean {
+		if before.Mean[ci] != 0 && !math.IsNaN(before.Mean[ci]) && after.Mean[ci] != before.Mean[ci] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("windowagg partials survived the drift model change")
+	}
+}

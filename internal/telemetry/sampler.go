@@ -42,6 +42,21 @@ type FaultModel interface {
 	SampleTick(node cluster.NodeID, tick int64) int64
 }
 
+// DriftModel lets a fault injector shift the latent distributions the
+// sampler synthesizes — the slow calibration drift, firmware-update
+// regime changes, and sensor recalibrations a months-old trained model
+// must survive. Implementations must be pure functions of their
+// arguments (and their own seed): cached rows stay valid under a fixed
+// drift model, overlapping windows agree on shared samples, and runs
+// remain reproducible.
+type DriftModel interface {
+	// Perturb returns the drifted value of counter ci on node given the
+	// healthy value v. tick is the effective sample tick (the instant
+	// the value reflects), so frozen counters keep repeating their
+	// pre-freeze, pre-drift value exactly as a stuck collector would.
+	Perturb(ci int, node cluster.NodeID, tick int64, v float64) float64
+}
+
 // Sampler synthesizes counter samples from the simulator's load history.
 //
 // Aggregation queries are memoized: each computed (node, tick) sample row
@@ -56,6 +71,7 @@ type Sampler struct {
 	schema []Counter
 	rng    *sim.Source
 	faults FaultModel
+	drift  DriftModel
 	tables []string
 
 	// Row cache (see rowFor): rowIdx maps (node, tick) to an index into
@@ -111,6 +127,14 @@ func NewSampler(topo cluster.Topology, rng *sim.Source) *Sampler {
 // that produced them.
 func (s *Sampler) SetFaults(f FaultModel) {
 	s.faults = f
+	s.flushCache()
+}
+
+// SetDrift installs a drift model (nil restores the calibrated stream).
+// The row cache is flushed, mirroring SetFaults: cached rows are only
+// valid under the drift model that produced them.
+func (s *Sampler) SetDrift(d DriftModel) {
+	s.drift = d
 	s.flushCache()
 }
 
@@ -241,7 +265,13 @@ func (s *Sampler) computeRow(slices []simnet.Slice, node cluster.NodeID, tick in
 				continue
 			}
 		}
-		r.vals[ci] = s.sampleValue(&s.schema[ci], ci, node, effTick, net, effFS)
+		v := s.sampleValue(&s.schema[ci], ci, node, effTick, net, effFS)
+		if s.drift != nil {
+			// Drift applies at the effective tick: a frozen counter keeps
+			// repeating the value (and drift state) of its freeze instant.
+			v = s.drift.Perturb(ci, node, effTick, v)
+		}
+		r.vals[ci] = v
 	}
 }
 
