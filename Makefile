@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle vet staticcheck fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -60,15 +60,38 @@ bench-lifecycle:
 	echo "$$out"; \
 	echo "$$out" | grep -q ' 0 allocs/op' || { echo "bench-lifecycle: Pass allocates with a nil lifecycle hook"; exit 1; }
 
+# bench-sched guards the availability-timeline scheduler fast path on
+# two axes: a steady-state deep-queue pass with a nil observer must
+# perform zero heap allocations at every depth (1k/10k/100k), and the
+# 100k-deep fast pass must stay under a 100µs regression budget (the
+# measured value is ~3µs; the reference scanner takes ~4ms — see
+# BENCH_sched.json). Only the fast sub-benchmark lines are inspected, so
+# the reference variants cannot mask a regression.
+bench-sched:
+	@out=$$($(GO) test -run '^$$' -bench BenchmarkDeepQueuePass -benchmem ./internal/sched/); \
+	echo "$$out"; \
+	fast=$$(echo "$$out" | grep 'DeepQueuePass/fast/'); \
+	[ $$(echo "$$fast" | grep -c .) -eq 3 ] || { echo "bench-sched: expected 3 fast sub-benchmarks"; exit 1; }; \
+	if echo "$$fast" | grep -v ' 0 allocs/op' | grep -q .; then \
+		echo "bench-sched: steady-state fast pass allocates"; exit 1; \
+	fi; \
+	echo "$$fast" | awk '/fast\/q100000/ { if ($$3+0 > 100000) { printf "bench-sched: 100k-queue fast pass regressed to %s ns/op (budget 100000)\n", $$3; exit 1 } }'
+
 vet:
 	$(GO) vet ./...
 
 # staticcheck runs honnef.co/go/tools' staticcheck when the binary is on
 # PATH and falls back to go vet otherwise, so CI gets the stronger
 # analysis where available without making it an install-time dependency.
+# The second invocation enforces the internal/sched godoc contract
+# (ST1000 package comment, ST1020 exported-symbol doc comments): every
+# exported scheduler symbol documents its determinism and allocation
+# behaviour, and these checks keep the comments from silently
+# disappearing.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+		staticcheck -checks ST1000,ST1020 ./internal/sched/; \
 	else \
 		echo "staticcheck: binary not found, falling back to go vet"; \
 		$(GO) vet ./...; \
@@ -82,8 +105,10 @@ fmt:
 	fi
 
 # ci is the full gate: formatting, static analysis (vet plus
-# staticcheck when installed), the test suite under the race detector
-# (race subsumes race-hot; both run so the hot paths report first), the
-# zero-alloc observability, gate-decision, and nil-lifecycle guards, the
-# training-path allocation guard, and the parallel-speedup smoke.
-ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-smoke
+# staticcheck when installed, including the internal/sched godoc
+# checks), the test suite under the race detector (race subsumes
+# race-hot; both run so the hot paths report first), the zero-alloc
+# observability, gate-decision, nil-lifecycle, and deep-queue scheduler
+# guards, the training-path allocation guard, and the parallel-speedup
+# smoke.
+ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-smoke

@@ -38,6 +38,7 @@ func main() {
 	metrics := cliflags.Metrics()
 	pprofPath := cliflags.Pprof()
 	workers := cliflags.Workers()
+	schedRef := cliflags.SchedReference()
 	flag.Parse()
 	if *quick {
 		*days = 30
@@ -105,7 +106,7 @@ func main() {
 		}
 		log.Printf("running %s (%d paired trials)...", spec.Name, *trials)
 		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000,
-			experiments.Config{Workers: *workers, Metrics: *metrics})
+			experiments.Config{Workers: *workers, Metrics: *metrics, SchedReference: *schedRef})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func main() {
 	if *drift {
 		log.Printf("running drift scenarios (%d trials each)...", *trials)
 		rows, err := experiments.RunDriftExperiment(adaa.Spec, pred, nil, *trials, *seed*1000,
-			experiments.Config{Workers: *workers, Metrics: *metrics})
+			experiments.Config{Workers: *workers, Metrics: *metrics, SchedReference: *schedRef})
 		if err != nil {
 			log.Fatal(err)
 		}

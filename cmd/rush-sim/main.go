@@ -60,6 +60,7 @@ func main() {
 	canaryThreshold := flag.Float64("canary-threshold", 0, "canary policy probe-slowdown veto threshold (0 = default 1.6; must be positive)")
 	canaryAllClasses := flag.Bool("canary-all-classes", false, "canary policy also gates compute-intensive jobs")
 	workers := cliflags.Workers()
+	schedRef := cliflags.SchedReference()
 	flag.Parse()
 
 	stopProfile, err := cliflags.StartCPUProfile(*pprofPath)
@@ -78,6 +79,7 @@ func main() {
 	cfg := experiments.Config{
 		DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf,
 		Workers: *workers, Trace: *tracePath != "", Metrics: *metrics,
+		SchedReference: *schedRef,
 	}
 	cfg.Faults = faults.Config{
 		NodeMTBF:      *nodeMTBF,

@@ -32,6 +32,15 @@ func Workers() *int {
 	return flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = serial); any value produces identical output")
 }
 
+// SchedReference registers -sched-reference: route every scheduling
+// pass through the reference scanner instead of the availability-
+// timeline fast path. Schedules are job-for-job identical either way
+// (see sched.Scheduler.DisableFastPath); the flag exists for
+// differential runs and for measuring the fast path's speedup.
+func SchedReference() *bool {
+	return flag.Bool("sched-reference", false, "use the reference scheduler scan instead of the availability-timeline fast path (identical schedules, slower passes)")
+}
+
 // Trace registers -trace: the path for a structured JSONL event trace.
 // Traces are keyed by simulated time and written in trial order, so the
 // file is byte-identical at any -workers value.

@@ -89,6 +89,13 @@ type Config struct {
 	// TestRunExperimentParallelDeterminism).
 	Workers int
 
+	// SchedReference routes every scheduling pass through the reference
+	// scanner instead of the availability-timeline fast path. Schedules
+	// are job-for-job identical either way (see
+	// sched.Scheduler.DisableFastPath); the knob exists for differential
+	// testing and for benchmarking the fast path's speedup.
+	SchedReference bool
+
 	// Trace records each trial's structured event stream (JSONL) into
 	// Trial.Trace. Events are keyed by simulated time and buffered
 	// per-trial, so traces are byte-identical at any worker count and
@@ -282,6 +289,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	s, err := sched.NewScheduler(sched.Config{
 		Machine: m, Primary: r1, Backfill: r2, Gate: gate,
 		Mode: cfg.Backfill, Observer: observer, Faults: inj,
+		DisableFastPath: cfg.SchedReference,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

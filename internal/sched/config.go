@@ -33,6 +33,10 @@ type Config struct {
 	// providing it here lets the scheduler wire the Observer into it.
 	// The scheduler takes no other interest in the injector.
 	Faults *faults.Injector
+	// DisableFastPath routes every Pass through the reference scanner
+	// instead of the availability-timeline fast path. Schedules are
+	// job-for-job identical either way; see Scheduler.DisableFastPath.
+	DisableFastPath bool
 }
 
 // NewScheduler builds a scheduler from cfg, applying defaults for every
@@ -55,10 +59,12 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		m: cfg.Machine, r1: cfg.Primary, r2: cfg.Backfill, gt: cfg.Gate,
 		Backfill:          cfg.Mode,
+		DisableFastPath:   cfg.DisableFastPath,
 		RetryInterval:     30,
 		VetoCooldown:      30,
 		RequeueBackoff:    60,
 		MaxRequeueBackoff: 15 * 60,
+		fastValid:         true, // the empty queue is trivially in order
 	}
 	if cfg.Observer != nil {
 		s.obs = cfg.Observer
@@ -71,7 +77,10 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 			requeued:   reg.Counter("sched_jobs_requeued_total"),
 			failed:     reg.Counter("sched_jobs_failed_total"),
 			vetoes:     reg.Counter("sched_gate_vetoes_total"),
+			passes:     reg.Counter("sched_passes_total"),
+			passWall:   reg.Counter("sched_pass_wall_us"),
 			queuePeak:  reg.Gauge("sched_queue_len_peak"),
+			breakpts:   reg.Gauge("timeline_breakpoints"),
 			waitHist:   reg.Histogram("sched_wait_seconds", waitBuckets),
 			runHist:    reg.Histogram("sched_run_seconds", runBuckets),
 		}

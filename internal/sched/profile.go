@@ -49,6 +49,16 @@ func newProfileFromSorted(now float64, freeNow int, sorted []release) *profile {
 	return p
 }
 
+// reset re-initializes p to a single segment [now, ∞) with freeNow free
+// nodes, reusing the backing arrays. The fast conservative-backfill path
+// keeps one pooled profile per scheduler and resets it every pass, so
+// steady-state passes allocate nothing once the arrays have grown to the
+// workload's high-water segment count.
+func (p *profile) reset(now float64, freeNow int) {
+	p.times = append(p.times[:0], now)
+	p.free = append(p.free[:0], freeNow)
+}
+
 type release struct {
 	t float64
 	n int

@@ -59,6 +59,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"rush/internal/apps"
 	"rush/internal/cluster"
@@ -119,6 +120,7 @@ type Job struct {
 
 	queuedAt  float64 // when the job (re-)entered the queue
 	waitAccum float64 // queued seconds accumulated across all stints
+	seq       uint64  // enqueue serial; breaks policy ties exactly like a stable sort
 
 	// Veto bookkeeping, kept on the job instead of in per-pass maps so
 	// the scheduling hot path allocates nothing (see Pass).
@@ -169,6 +171,16 @@ func (j *Job) RetryLimit() int {
 }
 
 // Policy orders the scheduler queue (the paper's R1 and R2).
+//
+// Less must be a strict weak ordering over fields that do not change
+// while a job is queued (FCFS reads SubmitTime, SJF reads Estimate;
+// both are fixed at submission). The fast scheduling pass maintains the
+// queue incrementally in policy order instead of re-sorting it every
+// pass, so a key that mutated while queued would silently corrupt the
+// order. Ties are broken by enqueue sequence, which reproduces exactly
+// the order a stable sort of the arrival-ordered queue would produce —
+// the two pass implementations are therefore job-for-job identical (see
+// Scheduler.DisableFastPath).
 type Policy interface {
 	// Less reports whether a should run before b.
 	Less(a, b *Job) bool
@@ -276,7 +288,10 @@ type schedMetrics struct {
 	requeued   *obs.Counter
 	failed     *obs.Counter
 	vetoes     *obs.Counter
+	passes     *obs.Counter
+	passWall   *obs.Counter
 	queuePeak  *obs.Gauge
+	breakpts   *obs.Gauge
 	waitHist   *obs.Histogram
 	runHist    *obs.Histogram
 }
@@ -304,9 +319,34 @@ type Scheduler struct {
 	// Backfill selects the backfilling discipline (default EASY).
 	Backfill BackfillMode
 
+	// DisableFastPath routes Pass through the reference scanner: a full
+	// queue re-sort, a fresh snapshot-and-sort of the running set, and a
+	// complete candidate rescan after every start — O(queue × nodes) per
+	// pass. The fast path instead maintains the queue in policy order,
+	// keeps the running set's releases on a persistent availability
+	// timeline, and resumes its scans across starts, so a pass costs
+	// near-O(changes). Schedules are job-for-job identical either way
+	// (pinned by the differential and property tests in fastsched_test);
+	// the toggle exists for those tests and the deep-queue benchmarks.
+	DisableFastPath bool
+
 	queue     []*Job
 	running   []*Job
 	completed []*Job
+
+	// Fast-path state: tl mirrors the running set's release breakpoints
+	// (see timeline.go); q2 is the queue in backfill-candidate order with
+	// blkNodes/blkEst holding per-block minima so the candidate scan can
+	// skip 64 jobs at a time; fastValid marks queue+q2 as maintained and
+	// in policy order (a reference pass invalidates it, the next fast
+	// pass rebuilds). nextSeq stamps Job.seq at every (re-)enqueue.
+	tl        timeline
+	q2        []*Job
+	blkNodes  []int
+	blkEst    []float64
+	fastValid bool
+	nextSeq   uint64
+	prof      profile // pooled conservative-backfill profile
 
 	// OnComplete, when set, observes each finished job.
 	OnComplete func(*Job)
@@ -391,7 +431,7 @@ func (s *Scheduler) Submit(j *Job) error {
 	j.vetoGen = 0
 	j.lastVetoAt = 0
 	j.vetoPending = false
-	s.queue = append(s.queue, j)
+	s.enqueue(j)
 	s.met.submitted.Inc()
 	s.met.queuePeak.Max(float64(len(s.queue)))
 	if s.obs != nil {
@@ -410,6 +450,12 @@ func (s *Scheduler) Err() error { return s.err }
 // intact (the paper: the delayed job "remains at the top of the queue
 // and will be the first to be considered ... next time resources become
 // available"). The returned error is sticky — see Err.
+//
+// Two implementations exist: the availability-timeline fast pass
+// (default, near-O(changes); see fastpass.go) and the reference scanner
+// (DisableFastPath, O(queue × nodes)). Both produce identical schedules;
+// with a nil observer both run allocation-free in steady state (pinned
+// by TestPassZeroAllocs and `make bench-sched`).
 func (s *Scheduler) Pass() error {
 	if s.inPass {
 		s.passWant = true
@@ -424,8 +470,46 @@ func (s *Scheduler) Pass() error {
 		}
 	}()
 
+	var t0 time.Time
+	if s.obs != nil {
+		t0 = time.Now()
+	}
 	s.passGen++
 	s.passVetoes = 0
+	if s.DisableFastPath {
+		s.fastValid = false
+		s.passReference()
+	} else {
+		s.passFast()
+	}
+
+	blockedIdle := len(s.queue) > 0 && len(s.running) == 0
+	if (s.passVetoes > 0 || s.pendingVetoes > 0 || blockedIdle) && s.RetryInterval > 0 && !s.retryArmed {
+		// Without this timer, a fully vetoed queue on an idle machine
+		// would deadlock: no submit/finish event would ever re-run the
+		// pass even though the state keeps changing (noise phases,
+		// external allocations like the noise job releasing nodes).
+		s.retryArmed = true
+		s.m.Eng.Schedule(s.RetryInterval, func() {
+			s.retryArmed = false
+			s.Pass()
+		})
+	}
+	s.met.passes.Inc()
+	s.met.breakpts.Max(float64(s.tl.peak))
+	if s.obs != nil {
+		s.met.passWall.Add(uint64(time.Since(t0).Microseconds()))
+	}
+	return s.err
+}
+
+// passReference is the reference scheduling cycle: re-sort the queue,
+// scan for the pivot, snapshot and sort the running set for the
+// reservation, collect and sort backfill candidates, and restart the
+// whole scan after every successful start. It is deliberately untouched
+// by the fast-path refactor — the differential tests pin the fast pass
+// against it job for job.
+func (s *Scheduler) passReference() {
 restart:
 	for s.err == nil {
 		sortJobs(s.queue, s.r1)
@@ -477,20 +561,6 @@ restart:
 		}
 		break
 	}
-
-	blockedIdle := len(s.queue) > 0 && len(s.running) == 0
-	if (s.passVetoes > 0 || s.pendingVetoes > 0 || blockedIdle) && s.RetryInterval > 0 && !s.retryArmed {
-		// Without this timer, a fully vetoed queue on an idle machine
-		// would deadlock: no submit/finish event would ever re-run the
-		// pass even though the state keeps changing (noise phases,
-		// external allocations like the noise job releasing nodes).
-		s.retryArmed = true
-		s.m.Eng.Schedule(s.RetryInterval, func() {
-			s.retryArmed = false
-			s.Pass()
-		})
-	}
-	return s.err
 }
 
 // sortJobs is a stable insertion sort under p. Stable sorting has a
@@ -557,16 +627,28 @@ func (s *Scheduler) coolingDown(j *Job) bool {
 	return j.vetoPending && s.m.Eng.Now()-j.lastVetoAt < s.VetoCooldown
 }
 
-// relSorter sorts a release slice by time in place. It is kept as a
-// scheduler field so sort.Sort receives a pointer that already lives on
-// the scheduler — no per-pass boxing allocation. sort.Sort and the old
-// sort.Slice run the same pdqsort over the same comparisons, so the
-// resulting order is unchanged.
+// relSorter sorts a release slice into snapshot order — by time, ties
+// broken by node count — in place. It is kept as a scheduler field so
+// sort.Sort receives a pointer that already lives on the scheduler — no
+// per-pass boxing allocation. The node-count tie-break matches
+// releaseSorter (the conservative path's snapshot order) and the
+// availability timeline's breakpoint order: ties arise whenever two
+// overrun jobs are clamped to the same pass time, and without a
+// deterministic tie-break the unstable sort would leave `extra` — which
+// can depend on which same-time release the reservation walk consumes
+// last — at the mercy of pdqsort's permutation, and the fast pass could
+// not reproduce it incrementally. Releases tying on both fields are
+// interchangeable: the walk accumulates them commutatively.
 type relSorter struct{ rels []release }
 
-func (r *relSorter) Len() int           { return len(r.rels) }
-func (r *relSorter) Less(i, j int) bool { return r.rels[i].t < r.rels[j].t }
-func (r *relSorter) Swap(i, j int)      { r.rels[i], r.rels[j] = r.rels[j], r.rels[i] }
+func (r *relSorter) Len() int { return len(r.rels) }
+func (r *relSorter) Less(i, j int) bool {
+	if r.rels[i].t != r.rels[j].t {
+		return r.rels[i].t < r.rels[j].t
+	}
+	return r.rels[i].n < r.rels[j].n
+}
+func (r *relSorter) Swap(i, j int) { r.rels[i], r.rels[j] = r.rels[j], r.rels[i] }
 
 // reservation computes the pivot's EASY reservation using the standard
 // count-based method: walk running jobs by estimated completion until
@@ -640,6 +722,7 @@ func (s *Scheduler) tryStart(j *Job, backfill bool) bool {
 	}
 	s.removeQueued(j)
 	s.running = append(s.running, j)
+	s.tl.add(j, j.StartTime+j.Estimate)
 	if backfill {
 		s.met.backfilled.Inc()
 	} else {
@@ -664,7 +747,25 @@ func (s *Scheduler) tryStart(j *Job, backfill bool) bool {
 	return true
 }
 
+// enqueue stamps j's enqueue serial and places it in the queue: sorted
+// insertion when the fast-path order is live, a plain append (sorted by
+// the next reference pass) otherwise.
+func (s *Scheduler) enqueue(j *Job) {
+	s.nextSeq++
+	j.seq = s.nextSeq
+	if s.fastValid && !s.DisableFastPath {
+		s.fastInsert(j)
+		return
+	}
+	s.fastValid = false
+	s.queue = append(s.queue, j)
+}
+
 func (s *Scheduler) removeQueued(j *Job) {
+	if s.fastValid {
+		s.fastRemove(j)
+		return
+	}
 	for i, q := range s.queue {
 		if q == j {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
@@ -730,7 +831,7 @@ func (s *Scheduler) requeue(j *Job) {
 	}
 	s.m.Eng.Schedule(delay, func() {
 		j.queuedAt = s.m.Eng.Now()
-		s.queue = append(s.queue, j)
+		s.enqueue(j)
 		s.Pass()
 	})
 	// The failed node's peers freed their allocation: try to fill them.
@@ -741,6 +842,7 @@ func (s *Scheduler) removeRunning(j *Job) {
 	for i, r := range s.running {
 		if r == j {
 			s.running = append(s.running[:i], s.running[i+1:]...)
+			s.tl.remove(j)
 			break
 		}
 	}
