@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched vet staticcheck fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,17 @@ bench-sched:
 	fi; \
 	echo "$$fast" | awk '/fast\/q100000/ { if ($$3+0 > 100000) { printf "bench-sched: 100k-queue fast pass regressed to %s ns/op (budget 100000)\n", $$3; exit 1 } }'
 
+# bench-serve guards the serving daemon's steady-state decision path: a
+# cached counters-only decision through Server.Handle must perform zero
+# heap allocations and stay under a 2µs regression budget (the measured
+# value is ~140ns — see BENCH_serve.json, which also records end-to-end
+# decisions/sec over a unix socket at 1/8/64 clients).
+bench-serve:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkCachedDecision' -benchmem ./internal/serve/); \
+	echo "$$out"; \
+	echo "$$out" | grep 'CachedDecision' | grep -q ' 0 allocs/op' || { echo "bench-serve: cached decision allocates"; exit 1; }; \
+	echo "$$out" | awk '/CachedDecision/ { if ($$3+0 > 2000) { printf "bench-serve: cached decision regressed to %s ns/op (budget 2000)\n", $$3; exit 1 } }'
+
 vet:
 	$(GO) vet ./...
 
@@ -108,7 +119,7 @@ fmt:
 # staticcheck when installed, including the internal/sched godoc
 # checks), the test suite under the race detector (race subsumes
 # race-hot; both run so the hot paths report first), the zero-alloc
-# observability, gate-decision, nil-lifecycle, and deep-queue scheduler
-# guards, the training-path allocation guard, and the parallel-speedup
-# smoke.
-ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-smoke
+# observability, gate-decision, nil-lifecycle, deep-queue scheduler,
+# and cached-serving-decision guards, the training-path allocation
+# guard, and the parallel-speedup smoke.
+ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-smoke

@@ -1,0 +1,58 @@
+package lifecycle
+
+import (
+	"sync/atomic"
+
+	"rush/internal/mlkit"
+)
+
+// AtomicHost is a ModelHost safe for concurrent readers: SwapModel
+// publishes the new classifier with an atomic pointer store, and Model
+// loads the current one lock-free. It exists because the RUSH gate's
+// SwapModel is a plain field write — correct inside one trial's
+// single-threaded event loop, a data race anywhere else. The serving
+// daemon (internal/serve) hosts its incumbent model in an AtomicHost so
+// lifecycle promotions can land while decision goroutines are
+// mid-inference; trained models are immutable (PredictProbaInto is
+// documented safe for concurrent use), so readers holding the old model
+// finish their prediction on it and pick up the new one next load.
+//
+// The race pinned by TestAtomicHostSwapUnderConcurrentPredict (run
+// under -race by `make race`) is exactly the one an unsynchronized host
+// exhibits: SwapModel hammered against parallel PredictProbaInto calls.
+type AtomicHost struct {
+	p atomic.Pointer[hostModel]
+	// Swaps counts SwapModel calls (including the initial install), so
+	// serving metrics can report model hot-swaps without extra plumbing.
+	Swaps atomic.Uint64
+}
+
+// hostModel boxes the classifier interface value so it can be published
+// through an atomic.Pointer.
+type hostModel struct{ c mlkit.Classifier }
+
+// NewAtomicHost returns a host serving m (which may be nil; Model then
+// returns nil until the first swap). The initial install does not count
+// toward Swaps.
+func NewAtomicHost(m mlkit.Classifier) *AtomicHost {
+	h := &AtomicHost{}
+	h.p.Store(&hostModel{c: m})
+	return h
+}
+
+// SwapModel implements ModelHost: it atomically publishes m as the
+// current classifier. Readers never observe a torn value; each Model
+// call returns either the previous classifier or m, never a mix.
+func (h *AtomicHost) SwapModel(m mlkit.Classifier) {
+	h.p.Store(&hostModel{c: m})
+	h.Swaps.Add(1)
+}
+
+// Model returns the currently published classifier (nil before any
+// install). The load is lock-free and safe from any goroutine.
+func (h *AtomicHost) Model() mlkit.Classifier {
+	if b := h.p.Load(); b != nil {
+		return b.c
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package lifecycle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rush/internal/mlkit"
+)
+
+// trainedFast fits one small FastProbaPredictor on a synthetic
+// three-class problem (seeded, deterministic).
+func trainedFast(t *testing.T, seed int64) mlkit.FastProbaPredictor {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, 90)
+	y := make([]int, len(x))
+	for i := range x {
+		cls := i % 3
+		row := make([]float64, 6)
+		for f := range row {
+			row[f] = float64(cls) + 0.3*rng.Float64()
+		}
+		x[i], y[i] = row, cls
+	}
+	m := mlkit.NewRandomForest(mlkit.ForestConfig{Trees: 5, Seed: seed})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := mlkit.Classifier(m).(mlkit.FastProbaPredictor)
+	if !ok {
+		t.Fatal("forest does not implement FastProbaPredictor")
+	}
+	return fp
+}
+
+// TestAtomicHostSwapUnderConcurrentPredict hammers SwapModel against
+// parallel PredictProbaInto readers. Under -race (the `make race` CI
+// gate) this pins the concurrency contract the serving daemon relies
+// on: model hot-swap is an atomic publish, trained models are immutable,
+// and every reader sees exactly one coherent model per prediction.
+func TestAtomicHostSwapUnderConcurrentPredict(t *testing.T) {
+	a := trainedFast(t, 1)
+	b := trainedFast(t, 2)
+	host := NewAtomicHost(a)
+
+	const readers = 8
+	const swaps = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sample := []float64{0.1 * float64(r), 1, 2, 0.5, 1.5, 2.5}
+			probs := make([]float64, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := host.Model()
+				fp := m.(mlkit.FastProbaPredictor)
+				out := probs[:len(fp.Classes())]
+				class := fp.PredictProbaInto(sample, out)
+				if class != fp.Predict(sample) {
+					t.Errorf("torn model read: PredictProbaInto disagrees with Predict")
+					return
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < swaps; i++ {
+		if i%2 == 0 {
+			host.SwapModel(b)
+		} else {
+			host.SwapModel(a)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := host.Swaps.Load(); got != swaps {
+		t.Fatalf("Swaps = %d, want %d", got, swaps)
+	}
+	if host.Model() == nil {
+		t.Fatal("host lost its model")
+	}
+}
+
+// TestAtomicHostIsModelHost pins the interface contract the lifecycle
+// manager promotes through.
+func TestAtomicHostIsModelHost(t *testing.T) {
+	var _ ModelHost = NewAtomicHost(nil)
+	h := NewAtomicHost(nil)
+	if h.Model() != nil {
+		t.Fatal("empty host should serve nil")
+	}
+	m := trainedFast(t, 3)
+	h.SwapModel(m)
+	if h.Model() != mlkit.Classifier(m) {
+		t.Fatal("swap did not publish the model")
+	}
+}

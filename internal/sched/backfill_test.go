@@ -81,7 +81,7 @@ func TestProfileSlotAlwaysFits(t *testing.T) {
 
 func TestNoBackfillStrictOrder(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.Backfill = NoBackfill
 	// Head blocked -> small job must NOT jump ahead even though it fits.
 	s.Submit(job(0, 10, 100))
@@ -103,7 +103,7 @@ func TestNoBackfillStrictOrder(t *testing.T) {
 
 func TestConservativeBackfillStartsSafeJob(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.Backfill = ConservativeBackfill
 	// Job 0: 10 nodes 100s (est 120). Job 1: 16 nodes -> reserved at 120.
 	// Job 2: 4 nodes 20s (est 24) fits before 120 on the 6 spare nodes.
@@ -130,7 +130,7 @@ func TestConservativeBlocksWhatEASYAllows(t *testing.T) {
 	// reservation.
 	build := func(mode BackfillMode) (*Job, func()) {
 		m := testMachine(16)
-		s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+		s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 		s.Backfill = mode
 		s.Submit(job(0, 10, 100)) // runs now, est 120
 		s.Submit(job(1, 16, 10))  // pivot, reserved at 120 (est 12)
@@ -169,7 +169,7 @@ func TestConservativeNeverDelaysAnyReservation(t *testing.T) {
 	rng := sim.NewSource(9).Derive("cons")
 	for trial := 0; trial < 20; trial++ {
 		m := testMachine(32)
-		s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+		s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 		s.Backfill = ConservativeBackfill
 		n := 12
 		for i := 0; i < n; i++ {
@@ -204,7 +204,7 @@ func TestBackfillModeString(t *testing.T) {
 
 func TestNeverDelayJobIgnoresGate(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, alwaysVeto{})
+	s := newSched(m, FCFS{}, FCFS{}, alwaysVeto{})
 	j := job(0, 16, 20)
 	j.SkipThreshold = -1 // priority job: the gate may never delay it
 	s.Submit(j)

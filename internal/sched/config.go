@@ -41,8 +41,8 @@ type Config struct {
 
 // NewScheduler builds a scheduler from cfg, applying defaults for every
 // omitted field and wiring the observer through all observable
-// components. It is the primary constructor; the positional New is a
-// deprecated shim over it.
+// components. It is the only constructor; the deprecated positional New
+// shim has been removed.
 func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("sched: Config.Machine is required")
@@ -92,18 +92,4 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		}
 	}
 	return s, nil
-}
-
-// New returns a scheduler over m using R1 for the main queue, R2 for
-// backfilling, and gate to make the start decision.
-//
-// Deprecated: use NewScheduler with a Config; New cannot express an
-// observer or default any argument. It panics on a nil machine (the only
-// error NewScheduler can return) to preserve its historical signature.
-func New(m *machine.Machine, r1, r2 Policy, gate Gate) *Scheduler {
-	s, err := NewScheduler(Config{Machine: m, Primary: r1, Backfill: r2, Gate: gate})
-	if err != nil {
-		panic(err)
-	}
-	return s
 }

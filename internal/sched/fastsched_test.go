@@ -336,7 +336,7 @@ func TestFastPassMatchesReferenceSJFPrimary(t *testing.T) {
 func TestFastPathToggleMidRun(t *testing.T) {
 	run := func(toggle bool) []string {
 		m := testMachine(32)
-		s := New(m, FCFS{}, SJF{}, AlwaysStart{})
+		s := newSched(m, FCFS{}, SJF{}, AlwaysStart{})
 		rng := sim.NewSource(5).Derive("toggle")
 		for i := 0; i < 50; i++ {
 			work := rng.Uniform(20, 150)

@@ -294,6 +294,11 @@ func (g *RUSH) Model() mlkit.Classifier { return g.model }
 // lifecycle promotes a vetted challenger this way. The next decision
 // uses the new model; the probability buffer resizes on demand, so a
 // model with a different class count is safe.
+//
+// The swap is a plain pointer write: the gate lives inside one trial's
+// single-threaded event loop, like the scheduler itself. Hosts whose
+// readers run concurrently with promotions (the serving daemon) must use
+// lifecycle.AtomicHost instead, which publishes the swap atomically.
 func (g *RUSH) SwapModel(m mlkit.Classifier) { g.model = m }
 
 // DegradedTime returns the simulated seconds spent with the breaker
@@ -319,46 +324,19 @@ func nanFraction(feats []float64) float64 {
 }
 
 // decide applies either the hard label rule (Algorithm 2) or, when
-// ProbThreshold is set, the probability rule. It returns the veto
+// ProbThreshold is set, the probability rule, by delegating to the
+// decideWith core shared with Snapshot.Decide. It returns the veto
 // decision together with the model's predicted label so trace events can
 // report the class under both rules. Predict is pure and is always
 // invoked — never only when tracing — so enabling a trace cannot perturb
 // a single decision.
 func (g *RUSH) decide(feats []float64) (veto bool, class int) {
 	if fp, ok := g.model.(mlkit.FastProbaPredictor); ok && !g.DisableFastPath {
-		classes := fp.Classes()
-		if cap(g.probsBuf) < len(classes) {
-			g.probsBuf = make([]float64, len(classes))
+		if n := len(fp.Classes()); cap(g.probsBuf) < n {
+			g.probsBuf = make([]float64, n)
 		}
-		probs := g.probsBuf[:len(classes)]
-		class = fp.PredictProbaInto(feats, probs)
-		if g.ProbThreshold > 0 {
-			var mass float64
-			for i, c := range classes {
-				if g.VariationLabels[c] {
-					mass += probs[i]
-				}
-			}
-			return mass > g.ProbThreshold, class
-		}
-		return g.VariationLabels[class], class
 	}
-	class = g.model.Predict(feats)
-	if g.ProbThreshold > 0 {
-		if pp, ok := g.model.(mlkit.ProbaPredictor); ok {
-			probs := pp.PredictProba(feats)
-			var mass float64
-			for i, c := range pp.Classes() {
-				if g.VariationLabels[c] {
-					mass += probs[i]
-				}
-			}
-			return mass > g.ProbThreshold, class
-		}
-		// The configured model cannot report probabilities; fall back to
-		// the label rule rather than silently never delaying.
-	}
-	return g.VariationLabels[class], class
+	return decideWith(g.model, g.VariationLabels, g.ProbThreshold, !g.DisableFastPath, feats, g.probsBuf[:cap(g.probsBuf)])
 }
 
 // LiveFeatures assembles the 282-feature vector the model expects from

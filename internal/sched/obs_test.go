@@ -130,10 +130,11 @@ func TestNewSchedulerDefaults(t *testing.T) {
 	}
 }
 
-// TestNewShimMatchesNewScheduler runs the same workload through the
-// deprecated positional constructor and the Config constructor and
-// requires identical schedules.
-func TestNewShimMatchesNewScheduler(t *testing.T) {
+// TestConfigConstructionDeterministic runs the same workload through two
+// independently constructed Config schedulers and requires identical
+// schedules (the old positional-shim equivalence test, kept as a
+// construction-determinism pin now that the shim is removed).
+func TestConfigConstructionDeterministic(t *testing.T) {
 	run := func(s *Scheduler) []float64 {
 		for i := 0; i < 6; i++ {
 			if err := s.Submit(job(i, 8+4*(i%3), 50+10*float64(i))); err != nil {
@@ -150,7 +151,7 @@ func TestNewShimMatchesNewScheduler(t *testing.T) {
 		}
 		return starts
 	}
-	a := run(New(testMachine(32), FCFS{}, SJF{}, AlwaysStart{}))
+	a := run(newSched(testMachine(32), FCFS{}, SJF{}, AlwaysStart{}))
 	sc, err := NewScheduler(Config{Machine: testMachine(32), Primary: FCFS{}, Backfill: SJF{}, Gate: AlwaysStart{}})
 	if err != nil {
 		t.Fatal(err)
@@ -164,11 +165,4 @@ func TestNewShimMatchesNewScheduler(t *testing.T) {
 			t.Fatalf("start times diverge at %d: %v vs %v", i, a, b)
 		}
 	}
-
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New(nil, ...) did not panic")
-		}
-	}()
-	New(nil, FCFS{}, FCFS{}, AlwaysStart{})
 }

@@ -10,7 +10,7 @@ import (
 // stints, and charge the lost execution to LostWork.
 func TestKilledJobRequeuedAccumulatesWait(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.RequeueBackoff = 5
 	j := job(0, 16, 100)
 	if err := s.Submit(j); err != nil {
@@ -57,7 +57,7 @@ func TestKilledJobRequeuedAccumulatesWait(t *testing.T) {
 // again for a measurable span.
 func TestRequeueWaitSpansBothStints(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.RequeueBackoff = 5
 	victim := job(0, 16, 100)
 	if err := s.Submit(victim); err != nil {
@@ -99,7 +99,7 @@ func TestRequeueWaitSpansBothStints(t *testing.T) {
 // workload still drains.
 func TestRetryBudgetExhaustedFailsJob(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	j := job(0, 16, 100)
 	j.RetryBudget = -1 // fail on first kill
 	if err := s.Submit(j); err != nil {
@@ -134,7 +134,7 @@ func TestRetryBudgetExhaustedFailsJob(t *testing.T) {
 // Requeue backoff grows exponentially with the retry count and is capped.
 func TestRequeueBackoffGrowth(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.RequeueBackoff = 10
 	s.MaxRequeueBackoff = 25
 	j := job(0, 16, 1000)

@@ -10,6 +10,18 @@ import (
 	"rush/internal/sim"
 )
 
+// newSched is the test-local positional constructor over the Config API
+// (the deprecated sched.New shim is gone); it panics on the nil-machine
+// error so the many tests that build a scheduler mid-assertion stay
+// one-liners.
+func newSched(m *machine.Machine, r1, r2 Policy, gate Gate) *Scheduler {
+	s, err := NewScheduler(Config{Machine: m, Primary: r1, Backfill: r2, Gate: gate})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func testMachine(nodes int) *machine.Machine {
 	eng := sim.New(1)
 	m, err := machine.New(eng, cluster.Topology{Nodes: nodes, PodSize: nodes, CoresPerNode: 4})
@@ -33,7 +45,7 @@ func job(id, nodes int, work float64) *Job {
 
 func TestFCFSRunsInOrderWhenSerial(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	var order []int
 	s.OnComplete = func(j *Job) { order = append(order, j.ID) }
 	// All jobs need the whole machine: strictly serial execution.
@@ -53,7 +65,7 @@ func TestFCFSRunsInOrderWhenSerial(t *testing.T) {
 
 func TestParallelJobsSharedMachine(t *testing.T) {
 	m := testMachine(64)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	for i := 0; i < 4; i++ {
 		s.Submit(job(i, 16, 100))
 	}
@@ -74,7 +86,7 @@ func TestParallelJobsSharedMachine(t *testing.T) {
 
 func TestEASYBackfillsShortJob(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	// Job 0 occupies 10 nodes for 100s. Job 1 wants 16 (must wait).
 	// Job 2 wants 4 nodes for 20s: backfills into the 6 free nodes since
 	// it finishes (est 24s) before job 0's estimated end (120s).
@@ -99,7 +111,7 @@ func TestEASYBackfillsShortJob(t *testing.T) {
 
 func TestEASYNeverDelaysReservation(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	// Job 0: 10 nodes, 100s (est 120). Job 1: 16 nodes reservation at
 	// ~120. Job 2: 6 nodes for 200s (est 240) would push job 1 past its
 	// reservation — EASY must NOT backfill it even though nodes are free.
@@ -123,7 +135,7 @@ func TestEASYNeverDelaysReservation(t *testing.T) {
 
 func TestEASYExtraNodesRouteAllowsLongBackfill(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	// Job 0: 10 nodes 100s. Job 1: wants 12 nodes -> shadow at job 0's
 	// end, extra = 6+10-12 = 4 nodes. Job 2: 4 nodes, very long — fits
 	// the extra-nodes route and may run indefinitely without delaying
@@ -147,7 +159,7 @@ func TestEASYExtraNodesRouteAllowsLongBackfill(t *testing.T) {
 
 func TestSJFOrdersByEstimate(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, SJF{}, SJF{}, AlwaysStart{})
+	s := newSched(m, SJF{}, SJF{}, AlwaysStart{})
 	// Submit three whole-machine jobs at t=0 in descending length; SJF
 	// should run them shortest first. Fill the machine first so nothing
 	// starts during submission.
@@ -184,7 +196,7 @@ func (g *countGate) Name() string { return "count" }
 
 func TestGateVetoKeepsJobQueued(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, &countGate{n: 2})
+	s := newSched(m, FCFS{}, FCFS{}, &countGate{n: 2})
 	s.RetryInterval = 10
 	s.VetoCooldown = 10
 	j := job(0, 16, 50)
@@ -214,7 +226,7 @@ func TestGateVetoKeepsJobQueued(t *testing.T) {
 func TestVetoedJobKeepsPriority(t *testing.T) {
 	m := testMachine(16)
 	g := &countGate{n: 1}
-	s := New(m, FCFS{}, FCFS{}, g)
+	s := newSched(m, FCFS{}, FCFS{}, g)
 	s.RetryInterval = 5
 	s.VetoCooldown = 5
 	// Job 0 vetoed once; job 1 same size submitted right after. On the
@@ -238,7 +250,7 @@ func (alwaysVeto) Name() string                            { return "alwaysVeto"
 
 func TestSkipThresholdForcesStart(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, alwaysVeto{})
+	s := newSched(m, FCFS{}, FCFS{}, alwaysVeto{})
 	s.RetryInterval = 1
 	s.VetoCooldown = 1
 	j := job(0, 16, 20)
@@ -266,7 +278,7 @@ func TestSkipsDefaultThreshold(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	m := testMachine(8)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	if err := s.Submit(job(0, 9, 10)); err == nil {
 		t.Fatal("oversized job should be rejected")
 	}
@@ -283,7 +295,7 @@ func TestSubmitValidation(t *testing.T) {
 
 func TestEstimateDefaultsToBaseWork(t *testing.T) {
 	m := testMachine(8)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	j := &Job{ID: 0, App: steadyApp(), Nodes: 4, BaseWork: 30}
 	s.Submit(j)
 	if j.Estimate != 30 {
@@ -301,7 +313,7 @@ func TestNoiseJobBlocksReservationGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	impossible := job(0, 16, 10)
 	s.Submit(impossible)
 	small := job(1, 4, 10)
@@ -319,7 +331,7 @@ func TestNoiseJobBlocksReservationGracefully(t *testing.T) {
 
 func TestWaitAndRunTimes(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, FCFS{}, AlwaysStart{})
 	s.Submit(job(0, 16, 100))
 	s.Submit(job(1, 16, 50))
 	m.Eng.Run()
@@ -340,7 +352,7 @@ func TestWaitAndRunTimes(t *testing.T) {
 
 func TestManyJobsDrainCompletely(t *testing.T) {
 	m := testMachine(64)
-	s := New(m, FCFS{}, SJF{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, SJF{}, AlwaysStart{})
 	rng := sim.NewSource(3).Derive("wl")
 	n := 60
 	for i := 0; i < n; i++ {
@@ -378,7 +390,7 @@ func TestPolicyAndGateNames(t *testing.T) {
 	if NewRUSH(m, nil).Name() != "RUSH" || NewCanary(m).Name() != "Canary" {
 		t.Fatal("gate names wrong")
 	}
-	s := New(m, FCFS{}, SJF{}, AlwaysStart{})
+	s := newSched(m, FCFS{}, SJF{}, AlwaysStart{})
 	if s.GateName() != "FCFS+EASY" {
 		t.Fatal("scheduler gate name wrong")
 	}
@@ -402,7 +414,7 @@ func TestFCFSTieBreaksOnID(t *testing.T) {
 
 func TestVetoCooldownDisabled(t *testing.T) {
 	m := testMachine(16)
-	s := New(m, FCFS{}, FCFS{}, &countGate{n: 1})
+	s := newSched(m, FCFS{}, FCFS{}, &countGate{n: 1})
 	s.VetoCooldown = 0 // disabled: every pass may re-ask
 	s.RetryInterval = 5
 	j := job(0, 16, 20)

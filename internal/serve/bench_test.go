@@ -1,0 +1,109 @@
+package serve_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rush/internal/serve"
+)
+
+// BenchmarkCachedDecision measures the steady-state in-process decision
+// path: a counters-only request answered from the per-scope cache
+// against the current snapshot epoch. `make bench-serve` gates this at
+// zero allocations per op and a latency budget — the cached path is the
+// one a busy scheduler hits on every pass, so it must behave like a map
+// lookup, not like an RPC handler.
+func BenchmarkCachedDecision(b *testing.B) {
+	srv, err := serve.NewServer(serve.Config{Model: conformanceModel(b, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ingest(b, srv, 0)
+
+	req := serve.Request{V: 1, Op: serve.OpDecide, Now: 10, Job: 1, App: "AMG", Scope: "q1"}
+	var resp serve.Response
+	srv.Handle(&req, &resp) // warm the cache (miss, builds features)
+	if resp.Status != serve.StatusOK || resp.Cached {
+		b.Fatalf("warmup: %+v", resp)
+	}
+	srv.Handle(&req, &resp)
+	if !resp.Cached {
+		b.Fatalf("second decision not cached: %+v", resp)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Handle(&req, &resp)
+	}
+	b.StopTimer()
+	if !resp.Cached || resp.Status != serve.StatusOK {
+		b.Fatalf("benchmark left the cached path: %+v", resp)
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end decisions/sec over a unix
+// socket at 1, 8, and 64 concurrent clients (each with its own
+// connection, issuing cached counters-only decisions back to back).
+// ns/op is the per-decision wall time across all clients; results are
+// recorded in BENCH_serve.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv, err := serve.NewServer(serve.Config{Model: conformanceModel(b, 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			ingest(b, srv, 0)
+			addr := "unix:" + filepath.Join(b.TempDir(), "bench.sock")
+			ln, err := serve.Listen(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+
+			conns := make([]*serve.Client, clients)
+			for i := range conns {
+				c, err := serve.Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+				if _, err := c.Do(&serve.Request{Op: serve.OpDecide, Now: 10, Scope: "q1"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i, c := range conns {
+				n := b.N / clients
+				if i < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(c *serve.Client, n int) {
+					defer wg.Done()
+					req := serve.Request{Op: serve.OpDecide, Now: 10, Scope: "q1"}
+					for j := 0; j < n; j++ {
+						resp, err := c.Do(&req)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if resp.Status != serve.StatusOK {
+							b.Errorf("decision failed: %+v", resp)
+							return
+						}
+					}
+				}(c, n)
+			}
+			wg.Wait()
+		})
+	}
+}

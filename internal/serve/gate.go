@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"fmt"
+
+	"rush/internal/cluster"
+	"rush/internal/machine"
+	"rush/internal/obs"
+	"rush/internal/sched"
+	"rush/internal/telemetry"
+)
+
+// Gate is a sched.Gate whose decisions come from a serve daemon instead
+// of an in-process model: it assembles the live feature vector locally
+// (counters and probes live with the simulated machine) and delegates
+// the whole fail-open pipeline — skip override, breaker, outage,
+// staleness, missing features, inference — to the server over the wire
+// protocol's two-phase check/eval exchange. The split keeps probe
+// randomness at parity with the in-process RUSH gate: probes run only
+// when the server answers DecisionEvaluate, exactly the cases in which
+// RUSH.Allow would have reached LiveFeatures. The differential test pins
+// served schedules byte-identical to in-process ones, fault injection
+// included.
+//
+// A transport failure is itself handled fail-open: the gate sticks in
+// degraded mode (Err is set) and every job launches as under the
+// FCFS+EASY baseline — a dead prediction service must never stall the
+// queue.
+type Gate struct {
+	m      *machine.Machine
+	rush   *sched.RUSH // feature assembly only; its model stays nil
+	client *Client
+
+	// Down reports a client-observed predictor outage (fault-injection
+	// hook, mirroring sched.RUSH.ModelDown).
+	Down func() bool
+	// MaxStaleness mirrors the server's staleness threshold: when
+	// positive, the gate measures telemetry freshness locally and ships
+	// the age with each check. It must match the server's configuration
+	// for decision parity (default 90, the shared default).
+	MaxStaleness float64
+	// AllNodesScope mirrors sched.RUSH.AllNodesScope for both the
+	// freshness measurement and feature aggregation scope.
+	AllNodesScope bool
+	// Err is the sticky transport error; once set, every decision fails
+	// open locally.
+	Err error
+
+	// Counters mirroring sched.RUSH's, so trial summaries read the same.
+	Evaluations        int
+	Vetoes             int
+	ThresholdOverrides int
+	Degraded           int
+
+	obs      *obs.Observer
+	met      remoteGateMetrics
+	allNodes []cluster.NodeID
+}
+
+// remoteGateMetrics mirrors the RUSH gate's metric handles (same names,
+// so traces and registry snapshots are interchangeable across the
+// in-process and served deployments).
+type remoteGateMetrics struct {
+	evaluations *obs.Counter
+	vetoes      *obs.Counter
+	overrides   *obs.Counter
+	degraded    *obs.Counter
+	failBreaker *obs.Counter
+	failModel   *obs.Counter
+	failStale   *obs.Counter
+	failMissing *obs.Counter
+}
+
+// NewGate returns a remote gate over machine m speaking to client.
+func NewGate(m *machine.Machine, client *Client) *Gate {
+	return &Gate{
+		m:            m,
+		rush:         sched.NewRUSH(m, nil),
+		client:       client,
+		MaxStaleness: 90,
+	}
+}
+
+// Name implements sched.Gate. It reports the decision algorithm ("RUSH"),
+// not the transport: a served gate is the same gate.
+func (g *Gate) Name() string { return "RUSH" }
+
+// Observe implements sched.ObservableGate with the same counter names as
+// the in-process gate.
+func (g *Gate) Observe(o *obs.Observer) {
+	g.obs = o
+	reg := o.Metrics()
+	g.met = remoteGateMetrics{
+		evaluations: reg.Counter("gate_evaluations_total"),
+		vetoes:      reg.Counter("gate_vetoes_total"),
+		overrides:   reg.Counter("gate_overrides_total"),
+		degraded:    reg.Counter("gate_degraded_total"),
+		failBreaker: reg.Counter("gate_fail_open_breaker_open_total"),
+		failModel:   reg.Counter("gate_fail_open_model_down_total"),
+		failStale:   reg.Counter("gate_fail_open_stale_telemetry_total"),
+		failMissing: reg.Counter("gate_fail_open_missing_features_total"),
+	}
+}
+
+func (g *Gate) failReason(reason string) *obs.Counter {
+	switch reason {
+	case obs.ReasonBreakerOpen:
+		return g.met.failBreaker
+	case obs.ReasonModelDown:
+		return g.met.failModel
+	case obs.ReasonStaleTelemetry:
+		return g.met.failStale
+	case obs.ReasonMissingFeatures:
+		return g.met.failMissing
+	default:
+		return nil
+	}
+}
+
+// emit mirrors sched.RUSH's trace event exactly (same kind, fields, and
+// -1 conventions), so served and in-process traces are comparable line
+// by line.
+func (g *Gate) emit(now float64, j *sched.Job, decision string, class int, reason string, age, missing float64) {
+	if !g.obs.Tracing() {
+		return
+	}
+	g.obs.Emit(obs.Event{Time: now, Kind: obs.KindGate, Job: j.ID, App: j.App.Name,
+		Decision: decision, Class: class, Skips: j.Skips, Reason: reason, Age: age, Missing: missing})
+}
+
+// scopeNodes mirrors the RUSH gate's telemetry scope.
+func (g *Gate) scopeNodes(alloc cluster.Allocation) []cluster.NodeID {
+	if g.AllNodesScope {
+		if g.allNodes == nil {
+			g.allNodes = telemetry.AllNodes(g.m.Topo)
+		}
+		return g.allNodes
+	}
+	return alloc.Nodes
+}
+
+// Allow implements sched.Gate by the two-phase exchange: OpCheck carries
+// the decision context (skip state, outage flag, locally measured
+// telemetry age); only a DecisionEvaluate answer makes the gate gather
+// features — running the MPI probes, which draw simulation randomness —
+// and send OpEval. Any transport failure, BUSY, or protocol error fails
+// open.
+func (g *Gate) Allow(j *sched.Job, alloc cluster.Allocation) bool {
+	if g.Err != nil {
+		return true
+	}
+	now := g.m.Eng.Now()
+	req := Request{
+		Op:        OpCheck,
+		Now:       now,
+		Job:       j.ID,
+		App:       j.App.Name,
+		Class:     int(j.App.Class),
+		Skips:     j.Skips,
+		SkipLimit: j.SkipThreshold,
+	}
+	if g.Down != nil && g.Down() {
+		req.Down = true
+	}
+	localAge := -1.0
+	if g.MaxStaleness > 0 {
+		localAge = g.m.Sampler.FreshnessAge(g.scopeNodes(alloc), now)
+		wireAge := WireAge(localAge)
+		req.Age = &wireAge
+	}
+	resp, err := g.client.Do(&req)
+	if err != nil {
+		g.Err = err
+		return true
+	}
+	if resp.Status == StatusOK && resp.Decision == DecisionEvaluate {
+		g.rush.AllNodesScope = g.AllNodesScope
+		feats := g.rush.LiveFeatures(alloc, j.App.Class)
+		eval := Request{
+			Op:    OpEval,
+			Now:   now,
+			Job:   j.ID,
+			App:   j.App.Name,
+			Class: int(j.App.Class),
+			Skips: j.Skips,
+			Feats: FeatureVector(feats),
+			Age:   req.Age,
+		}
+		resp, err = g.client.Do(&eval)
+		if err != nil {
+			g.Err = err
+			return true
+		}
+	}
+	if resp.Status != StatusOK {
+		// BUSY and server-side errors degrade open without poisoning the
+		// connection; the next decision tries again.
+		g.Degraded++
+		g.met.degraded.Inc()
+		return true
+	}
+	// The wire clamps +Inf ages; trace the true local measurement.
+	age := resp.Age
+	if age >= 0 {
+		age = localAge
+	}
+	switch resp.Decision {
+	case obs.DecisionOverride:
+		g.ThresholdOverrides++
+		g.met.overrides.Inc()
+		g.emit(now, j, resp.Decision, resp.Class, "", age, resp.Missing)
+		return true
+	case obs.DecisionFailOpen:
+		g.Degraded++
+		g.met.degraded.Inc()
+		g.failReason(resp.Reason).Inc()
+		g.emit(now, j, resp.Decision, resp.Class, resp.Reason, age, resp.Missing)
+		return true
+	case obs.DecisionVeto:
+		g.Evaluations++
+		g.met.evaluations.Inc()
+		g.Vetoes++
+		g.met.vetoes.Inc()
+		g.emit(now, j, resp.Decision, resp.Class, "", age, resp.Missing)
+		return false
+	case obs.DecisionStart:
+		g.Evaluations++
+		g.met.evaluations.Inc()
+		g.emit(now, j, resp.Decision, resp.Class, "", age, resp.Missing)
+		return true
+	}
+	g.Err = fmt.Errorf("serve: unexpected decision %q", resp.Decision)
+	return true
+}

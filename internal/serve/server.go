@@ -1,0 +1,719 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rush/internal/apps"
+	"rush/internal/dataset"
+	"rush/internal/lifecycle"
+	"rush/internal/mlkit"
+	"rush/internal/obs"
+	"rush/internal/sched"
+	"rush/internal/simnet"
+	"rush/internal/telemetry"
+)
+
+// Config assembles a Server. Only Model is required; every other field
+// has a production default.
+type Config struct {
+	// Model is the initial incumbent classifier (required). Load one
+	// from a serialized predictor with core.LoadPredictor.
+	Model mlkit.Classifier
+	// VariationLabels is the veto-label set (default: delay only
+	// dataset.LabelVariation, the paper's rule).
+	VariationLabels map[int]bool
+	// ProbThreshold switches to the probability rule when positive,
+	// exactly as sched.RUSH.ProbThreshold does.
+	ProbThreshold float64
+	// MaxStaleness is the oldest acceptable telemetry age in seconds
+	// (default 90, the gate's default); negative disables the check.
+	MaxStaleness float64
+	// MaxMissing is the largest tolerable missing-feature fraction
+	// (default 0.5, the gate's default); negative disables the check.
+	MaxMissing float64
+	// MaxInflight bounds concurrently processed decision requests
+	// (default 256). Beyond it the server answers StatusBusy without
+	// touching the decision pipeline — bounded-queue backpressure.
+	MaxInflight int
+	// BatchWindow is how long the inference batcher waits after the
+	// first queued decision to collect more (default 0: greedy — take
+	// whatever is already queued, never wait).
+	BatchWindow time.Duration
+	// MaxBatch bounds one inference batch (default 64).
+	MaxBatch int
+	// DisableCache turns off the per-scope decision cache.
+	DisableCache bool
+	// Breaker is the predictor circuit breaker backing degraded mode
+	// (default sched.NewBreaker()). It runs on request-carried
+	// timestamps, so replayed simulated streams and wall-clock clients
+	// both work.
+	Breaker *sched.Breaker
+}
+
+// cacheKey identifies one counters-only decision: a caller-chosen scope
+// name and the workload class.
+type cacheKey struct {
+	scope string
+	class int
+}
+
+// cacheEntry is one cached verdict, valid only for the snapshot epoch it
+// was computed against (tick-based invalidation: every ingest or model
+// swap bumps the epoch and thereby invalidates every entry at once).
+type cacheEntry struct {
+	epoch   uint64
+	veto    bool
+	class   int
+	missing float64
+}
+
+// maxCacheEntries bounds the decision cache; on overflow the whole map
+// is dropped (entries are one epoch deep, so losing them only costs one
+// re-inference per live scope).
+const maxCacheEntries = 4096
+
+// batchItem is one inference handed to the batcher goroutine.
+type batchItem struct {
+	snap  *sched.Snapshot
+	feats []float64
+	veto  bool
+	class int
+	done  chan struct{}
+}
+
+// Server is the concurrent gate-prediction daemon: it holds the current
+// decision state as an immutable sched.Snapshot behind an atomic pointer
+// (decisions run lock-free against it while ingestion builds the next
+// one and publishes it with a swap — epoch/RCU style), batches ensemble
+// inference, caches counters-only decisions per scope, and degrades to
+// fail-open ALLOW behind the circuit breaker whenever the model path is
+// unavailable. Model hot-swap reuses lifecycle.SwapModel semantics via
+// an AtomicHost: Server implements lifecycle.ModelHost, so a lifecycle
+// manager can promote challengers straight into a live server.
+type Server struct {
+	maxStaleness float64 // 0 = disabled
+	maxMissing   float64 // 0 = disabled
+	batchWindow  time.Duration
+	maxBatch     int
+	cacheOff     bool
+
+	host *lifecycle.AtomicHost
+	snap atomic.Pointer[sched.Snapshot]
+
+	pubMu sync.Mutex // serializes snapshot builds (ingest, swap)
+
+	bmu     sync.Mutex // breaker state is mutated on every decision
+	breaker *sched.Breaker
+
+	down       atomic.Bool
+	lastIngest atomic.Uint64 // Float64bits of the last ingest Now; NaN = never
+
+	cmu   sync.RWMutex
+	cache map[cacheKey]cacheEntry
+
+	sem     chan struct{}
+	batchCh chan *batchItem
+	stopCh  chan struct{}
+	stop    sync.Once
+
+	lnMu  sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	// Serve counters (obs.AtomicCounter: concurrency-safe, nil-safe).
+	cRequests  obs.AtomicCounter
+	cProtoErrs obs.AtomicCounter
+	cDecisions obs.AtomicCounter
+	cStarts    obs.AtomicCounter
+	cVetoes    obs.AtomicCounter
+	cFailOpen  obs.AtomicCounter
+	cOverrides obs.AtomicCounter
+	cHits      obs.AtomicCounter
+	cMisses    obs.AtomicCounter
+	cBusy      obs.AtomicCounter
+	cIngests   obs.AtomicCounter
+	cSwaps     obs.AtomicCounter
+	cBatches   obs.AtomicCounter
+	cBatchJobs obs.AtomicCounter
+	gBatchMax  obs.AtomicGauge
+}
+
+// NewServer builds a server from cfg, applying defaults, installing the
+// initial snapshot (epoch 0, no telemetry), and starting the inference
+// batcher. Callers must Close it to stop the batcher.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: Config.Model is required")
+	}
+	labels := map[int]bool{dataset.LabelVariation: true}
+	if cfg.VariationLabels != nil {
+		labels = make(map[int]bool, len(cfg.VariationLabels))
+		for k, v := range cfg.VariationLabels {
+			labels[k] = v
+		}
+	}
+	s := &Server{
+		maxStaleness: 90,
+		maxMissing:   0.5,
+		batchWindow:  cfg.BatchWindow,
+		maxBatch:     cfg.MaxBatch,
+		cacheOff:     cfg.DisableCache,
+		host:         lifecycle.NewAtomicHost(cfg.Model),
+		breaker:      cfg.Breaker,
+		cache:        map[cacheKey]cacheEntry{},
+		stopCh:       make(chan struct{}),
+		conns:        map[net.Conn]struct{}{},
+	}
+	if cfg.MaxStaleness != 0 {
+		s.maxStaleness = math.Max(cfg.MaxStaleness, 0)
+	}
+	if cfg.MaxMissing != 0 {
+		s.maxMissing = math.Max(cfg.MaxMissing, 0)
+	}
+	if s.breaker == nil {
+		s.breaker = sched.NewBreaker()
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = 64
+	}
+	inflight := cfg.MaxInflight
+	if inflight <= 0 {
+		inflight = 256
+	}
+	s.sem = make(chan struct{}, inflight)
+	s.batchCh = make(chan *batchItem, inflight)
+	s.lastIngest.Store(math.Float64bits(math.NaN()))
+	s.snap.Store(&sched.Snapshot{
+		Model:           cfg.Model,
+		VariationLabels: labels,
+		ProbThreshold:   cfg.ProbThreshold,
+	})
+	go s.batcher()
+	return s, nil
+}
+
+// Snapshot returns the currently published decision snapshot (lock-free).
+func (s *Server) Snapshot() *sched.Snapshot { return s.snap.Load() }
+
+// publish builds the next snapshot from the current one (fresh model
+// load from the host, mut applied on top), assigns it the next epoch,
+// and swaps it in. Ingest and swap serialize here; readers never wait.
+func (s *Server) publish(mut func(next *sched.Snapshot)) uint64 {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	cur := s.snap.Load()
+	next := &sched.Snapshot{
+		Model:           s.host.Model(),
+		VariationLabels: cur.VariationLabels,
+		ProbThreshold:   cur.ProbThreshold,
+		Agg:             cur.Agg,
+		Tick:            cur.Tick,
+		Epoch:           cur.Epoch + 1,
+	}
+	if mut != nil {
+		mut(next)
+	}
+	s.snap.Store(next)
+	return next.Epoch
+}
+
+// SwapModel implements lifecycle.ModelHost: it atomically installs m as
+// the incumbent and publishes a new snapshot (epoch+1), invalidating all
+// cached decisions. In-flight decisions finish on the snapshot they
+// loaded — the old model — exactly as lifecycle promotion intends.
+func (s *Server) SwapModel(m mlkit.Classifier) {
+	s.host.SwapModel(m)
+	s.cSwaps.Inc()
+	s.publish(nil)
+}
+
+// Ingest publishes one telemetry window (per-counter min/mean/max in
+// schema order, cloned into the immutable snapshot) and records now as
+// the freshness reference for decisions that carry no client-measured
+// age.
+func (s *Server) Ingest(now float64, tick int64, agg telemetry.Aggregates) error {
+	n := telemetry.NumCounters
+	if len(agg.Min) != n || len(agg.Mean) != n || len(agg.Max) != n {
+		return fmt.Errorf("serve: ingest aggregates must have %d counters, got %d/%d/%d",
+			n, len(agg.Min), len(agg.Mean), len(agg.Max))
+	}
+	frozen := agg.Clone()
+	s.publish(func(next *sched.Snapshot) {
+		next.Agg = frozen
+		next.Tick = tick
+	})
+	s.lastIngest.Store(math.Float64bits(now))
+	s.cIngests.Inc()
+	return nil
+}
+
+// SetOutage sets or clears the injected predictor-outage flag.
+func (s *Server) SetOutage(down bool) { s.down.Store(down) }
+
+// lastIngestAt returns the Now of the most recent ingest, NaN if none.
+func (s *Server) lastIngestAt() float64 {
+	return math.Float64frombits(s.lastIngest.Load())
+}
+
+// skipLimit resolves a wire skip limit with sched.Job.SkipLimit rules:
+// zero means the default threshold, negative means never delay.
+func skipLimit(limit int) int {
+	switch {
+	case limit < 0:
+		return 0
+	case limit > 0:
+		return limit
+	default:
+		return sched.DefaultSkipThreshold
+	}
+}
+
+// nanFraction mirrors the gate's missing-feature accounting.
+func nanFraction(feats []float64) float64 {
+	if len(feats) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range feats {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(feats))
+}
+
+// Decision phases: OpDecide runs the whole pipeline, OpCheck stops
+// before feature evaluation, OpEval resumes there.
+const (
+	phaseSingle = iota
+	phaseCheck
+	phaseEval
+)
+
+// failOpen records a model-path failure (one breaker failure, exactly as
+// the in-process gate charges it) and fills a fail-open ALLOW response.
+func (s *Server) failOpen(resp *Response, now float64, reason string) {
+	s.bmu.Lock()
+	s.breaker.Failure(now)
+	s.bmu.Unlock()
+	resp.Decision = obs.DecisionFailOpen
+	resp.Reason = reason
+	s.cFailOpen.Inc()
+}
+
+// decide runs the gate pipeline in the same order as sched.RUSH.Allow —
+// skip override, breaker, outage, staleness, features, missing fraction,
+// inference — which is what keeps served decisions byte-identical to
+// in-process ones (pinned by the differential test). The cached-decision
+// path (counters-only request with a warm scope) performs zero heap
+// allocations (gated by `make bench-serve`).
+func (s *Server) decide(req *Request, resp *Response, phase int) {
+	snap := s.snap.Load()
+	resp.Epoch = snap.Epoch
+	now := req.Now
+	if phase != phaseEval {
+		if req.Skips >= skipLimit(req.SkipLimit) {
+			resp.Decision = obs.DecisionOverride
+			s.cOverrides.Inc()
+			return
+		}
+		s.bmu.Lock()
+		ready := s.breaker.Ready(now)
+		s.bmu.Unlock()
+		if !ready {
+			// An open breaker is not charged as another failure — the
+			// model was never consulted — but the decision degraded.
+			resp.Decision = obs.DecisionFailOpen
+			resp.Reason = obs.ReasonBreakerOpen
+			s.cFailOpen.Inc()
+			return
+		}
+		if req.Down || s.down.Load() {
+			s.failOpen(resp, now, obs.ReasonModelDown)
+			return
+		}
+		if s.maxStaleness > 0 {
+			age := -1.0
+			if req.Age != nil {
+				age = *req.Age
+			} else if last := s.lastIngestAt(); !math.IsNaN(last) {
+				age = now - last
+			}
+			resp.Age = age
+			if age > s.maxStaleness {
+				s.failOpen(resp, now, obs.ReasonStaleTelemetry)
+				return
+			}
+		}
+		if phase == phaseCheck {
+			resp.Decision = DecisionEvaluate
+			return
+		}
+	} else if req.Age != nil {
+		resp.Age = *req.Age
+	}
+
+	feats := []float64(req.Feats)
+	cacheable := false
+	var key cacheKey
+	if feats == nil {
+		cacheable = !s.cacheOff && req.Scope != ""
+		if cacheable {
+			key = cacheKey{scope: req.Scope, class: req.Class}
+			s.cmu.RLock()
+			e, ok := s.cache[key]
+			s.cmu.RUnlock()
+			if ok && e.epoch == snap.Epoch {
+				s.cHits.Inc()
+				resp.Cached = true
+				resp.Class = e.class
+				resp.Missing = e.missing
+				if e.veto {
+					resp.Decision = obs.DecisionVeto
+					s.cVetoes.Inc()
+				} else {
+					resp.Decision = obs.DecisionStart
+					s.cStarts.Inc()
+				}
+				return
+			}
+			s.cMisses.Inc()
+		}
+		if len(snap.Agg.Mean) != telemetry.NumCounters {
+			// No telemetry window has been ingested: every counter
+			// feature is missing, so the decision fails open rather than
+			// predicting from nothing.
+			resp.Missing = 1
+			s.failOpen(resp, now, obs.ReasonMissingFeatures)
+			return
+		}
+		feats = snap.Features(simnet.ProbeResult{}, apps.Class(req.Class), make([]float64, 0, dataset.NumFeatures))
+	}
+	if s.maxMissing > 0 {
+		miss := nanFraction(feats)
+		resp.Missing = miss
+		if miss > s.maxMissing {
+			s.failOpen(resp, now, obs.ReasonMissingFeatures)
+			return
+		}
+	}
+	s.bmu.Lock()
+	s.breaker.Success(now)
+	s.bmu.Unlock()
+	veto, class := s.infer(snap, feats)
+	resp.Class = class
+	if veto {
+		resp.Decision = obs.DecisionVeto
+		s.cVetoes.Inc()
+	} else {
+		resp.Decision = obs.DecisionStart
+		s.cStarts.Inc()
+	}
+	if cacheable {
+		s.cmu.Lock()
+		if len(s.cache) >= maxCacheEntries {
+			s.cache = map[cacheKey]cacheEntry{}
+		}
+		s.cache[key] = cacheEntry{epoch: snap.Epoch, veto: veto, class: class, missing: resp.Missing}
+		s.cmu.Unlock()
+	}
+}
+
+// infer runs one model inference through the batcher so concurrent
+// decisions share ensemble batches. If the server is shutting down it
+// decides inline (Snapshot.Decide is pure, so deciding twice is safe).
+func (s *Server) infer(snap *sched.Snapshot, feats []float64) (veto bool, class int) {
+	it := &batchItem{snap: snap, feats: feats, done: make(chan struct{}, 1)}
+	select {
+	case s.batchCh <- it:
+	case <-s.stopCh:
+		return snap.Decide(feats, nil)
+	}
+	select {
+	case <-it.done:
+		return it.veto, it.class
+	case <-s.stopCh:
+		return snap.Decide(feats, nil)
+	}
+}
+
+// batcher is the single inference goroutine: it collects queued
+// decisions — greedily, or for BatchWindow after the first — and runs
+// them against their snapshots with one reused probability scratch
+// buffer. Batch sizes feed the serve_batch metrics.
+func (s *Server) batcher() {
+	var batch []*batchItem
+	var probs []float64
+	run := func() {
+		for _, it := range batch {
+			if n := it.snap.Classes(); n > len(probs) {
+				probs = make([]float64, n)
+			}
+			it.veto, it.class = it.snap.Decide(it.feats, probs)
+			it.done <- struct{}{}
+		}
+		s.cBatches.Inc()
+		s.cBatchJobs.Add(uint64(len(batch)))
+		s.gBatchMax.Max(uint64(len(batch)))
+	}
+	for {
+		select {
+		case it := <-s.batchCh:
+			batch = append(batch[:0], it)
+			if s.batchWindow > 0 {
+				timer := time.NewTimer(s.batchWindow)
+			window:
+				for len(batch) < s.maxBatch {
+					select {
+					case more := <-s.batchCh:
+						batch = append(batch, more)
+					case <-timer.C:
+						break window
+					case <-s.stopCh:
+						break window
+					}
+				}
+				timer.Stop()
+			} else {
+			greedy:
+				for len(batch) < s.maxBatch {
+					select {
+					case more := <-s.batchCh:
+						batch = append(batch, more)
+					default:
+						break greedy
+					}
+				}
+			}
+			run()
+		case <-s.stopCh:
+			// Drain anything already queued so no handler waits forever.
+			for {
+				select {
+				case it := <-s.batchCh:
+					batch = append(batch[:0], it)
+					run()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Handle processes one request into resp. It is the in-process API the
+// connection loop wraps: embedding callers (tests, benchmarks, future
+// in-process gates) get the identical pipeline without a socket. resp is
+// fully overwritten; on the cached-decision path Handle performs zero
+// heap allocations.
+func (s *Server) Handle(req *Request, resp *Response) {
+	*resp = Response{V: ProtoVersion, ID: req.ID, Status: StatusOK, Class: -1, Age: -1, Missing: -1}
+	s.cRequests.Inc()
+	if req.V != ProtoVersion {
+		resp.Status = StatusError
+		resp.Error = fmt.Sprintf("unsupported protocol version %d (server speaks %d)", req.V, ProtoVersion)
+		s.cProtoErrs.Inc()
+		return
+	}
+	switch req.Op {
+	case OpPing:
+		resp.Epoch = s.snap.Load().Epoch
+	case OpStats:
+		resp.Epoch = s.snap.Load().Epoch
+		resp.Stats = s.Stats()
+	case OpOutage:
+		s.SetOutage(req.Down)
+	case OpIngest:
+		if err := s.Ingest(req.Now, req.Tick, telemetry.Aggregates{Min: req.Min, Mean: req.Mean, Max: req.Max}); err != nil {
+			resp.Status = StatusError
+			resp.Error = err.Error()
+			s.cProtoErrs.Inc()
+			return
+		}
+		resp.Epoch = s.snap.Load().Epoch
+	case OpSwap:
+		model, err := mlkit.LoadModel(req.Model)
+		if err != nil {
+			resp.Status = StatusError
+			resp.Error = err.Error()
+			s.cProtoErrs.Inc()
+			return
+		}
+		s.SwapModel(model)
+		resp.Epoch = s.snap.Load().Epoch
+	case OpDecide, OpCheck, OpEval:
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Bounded-queue backpressure: reply BUSY instead of queueing
+			// unboundedly (the 429 of this protocol).
+			resp.Status = StatusBusy
+			resp.Error = "too many in-flight decisions"
+			s.cBusy.Inc()
+			return
+		}
+		phase := phaseSingle
+		switch req.Op {
+		case OpCheck:
+			phase = phaseCheck
+		case OpEval:
+			phase = phaseEval
+		}
+		s.decide(req, resp, phase)
+		<-s.sem
+		if resp.Decision != DecisionEvaluate {
+			s.cDecisions.Inc()
+		}
+	default:
+		resp.Status = StatusError
+		resp.Error = fmt.Sprintf("unknown op %q", req.Op)
+		s.cProtoErrs.Inc()
+	}
+}
+
+// Stats returns the current counter values. Key order is irrelevant on
+// the wire: JSON object keys marshal sorted, so OpStats responses are
+// deterministic.
+func (s *Server) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"serve_requests_total":           s.cRequests.Value(),
+		"serve_protocol_errors_total":    s.cProtoErrs.Value(),
+		"serve_decisions_total":          s.cDecisions.Value(),
+		"serve_decision_start_total":     s.cStarts.Value(),
+		"serve_decision_veto_total":      s.cVetoes.Value(),
+		"serve_decision_fail_open_total": s.cFailOpen.Value(),
+		"serve_decision_override_total":  s.cOverrides.Value(),
+		"serve_cache_hits_total":         s.cHits.Value(),
+		"serve_cache_misses_total":       s.cMisses.Value(),
+		"serve_backpressure_drops_total": s.cBusy.Value(),
+		"serve_ingests_total":            s.cIngests.Value(),
+		"serve_model_swaps_total":        s.cSwaps.Value(),
+		"serve_batches_total":            s.cBatches.Value(),
+		"serve_batched_decisions_total":  s.cBatchJobs.Value(),
+		"serve_batch_max_size":           s.gBatchMax.Value(),
+	}
+}
+
+// MetricsSnapshot renders the serve counters as a name-sorted
+// obs.Snapshot, mergeable with trial registries by obs.Merge.
+func (s *Server) MetricsSnapshot() *obs.Snapshot {
+	stats := s.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := &obs.Snapshot{}
+	for _, name := range names {
+		snap.Counters = append(snap.Counters, obs.MetricValue{Name: name, Value: float64(stats[name])})
+	}
+	return snap
+}
+
+// Listen opens the server's listening socket: an address of the form
+// "unix:/path" binds a unix domain socket, anything else a TCP address.
+func Listen(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// Serve accepts connections on ln until Close. Each connection is served
+// by its own goroutine; requests within one connection are handled in
+// order (responses match request order), while inference still batches
+// across connections.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.lnMu.Lock()
+		s.conns[c] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// handleConn reads frames off one connection until EOF or a fatal
+// protocol error. Malformed JSON gets an error response and the
+// connection survives (frame boundaries are intact); an oversized length
+// prefix gets an error response and a close (the stream cannot be
+// resynchronized without reading the oversized body).
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.lnMu.Lock()
+		delete(s.conns, c)
+		s.lnMu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var req Request
+	var resp Response
+	for {
+		raw, err := readRawFrame(br)
+		if err == errFrameTooLarge {
+			resp = Response{V: ProtoVersion, Status: StatusError, Error: err.Error(), Class: -1, Age: -1, Missing: -1}
+			s.cProtoErrs.Inc()
+			if WriteFrame(bw, &resp) == nil {
+				bw.Flush()
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		req = Request{}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			resp = Response{V: ProtoVersion, Status: StatusError, Error: "malformed request: " + err.Error(), Class: -1, Age: -1, Missing: -1}
+			s.cProtoErrs.Inc()
+		} else {
+			s.Handle(&req, &resp)
+		}
+		if err := WriteFrame(bw, &resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the batcher, the listener, and every open connection.
+func (s *Server) Close() error {
+	s.stop.Do(func() { close(s.stopCh) })
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -183,6 +183,18 @@ type Aggregates struct {
 	Max  []float64
 }
 
+// Clone returns a deep copy of the aggregates with freshly allocated
+// slices. Snapshot publishers (internal/sched.Snapshot, the serving
+// daemon's ingest path) freeze a window with it so the immutable
+// snapshot cannot alias a buffer the sampler keeps rewriting.
+func (a Aggregates) Clone() Aggregates {
+	return Aggregates{
+		Min:  append([]float64(nil), a.Min...),
+		Mean: append([]float64(nil), a.Mean...),
+		Max:  append([]float64(nil), a.Max...),
+	}
+}
+
 // MissingFraction returns the share of counters whose aggregates are NaN
 // (every sample in the window was dropped).
 func (a Aggregates) MissingFraction() float64 {

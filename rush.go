@@ -56,6 +56,7 @@ package rush
 
 import (
 	"io"
+	"net"
 
 	"rush/internal/apps"
 	"rush/internal/cluster"
@@ -66,6 +67,8 @@ import (
 	"rush/internal/mlkit"
 	"rush/internal/obs"
 	"rush/internal/parallel"
+	"rush/internal/sched"
+	"rush/internal/serve"
 	"rush/internal/stats"
 	"rush/internal/workload"
 )
@@ -373,3 +376,50 @@ var (
 	ReportFaultsString         = experiments.ReportFaultsString
 	ReportMetricsString        = experiments.ReportMetricsString
 )
+
+// Serving: the rush-serve gate-prediction daemon and its embeddable
+// pieces. See internal/serve's package documentation for the wire
+// protocol specification and the compatibility rule.
+type (
+	// GateSnapshot is the immutable decision state (model + telemetry
+	// aggregates + reference statistics) the gate and the serving daemon
+	// evaluate against. Snapshots are published atomically with a
+	// monotonically increasing Epoch; decisions against one snapshot are
+	// pure and lock-free.
+	GateSnapshot = sched.Snapshot
+	// ServeConfig configures a serving daemon (model, thresholds,
+	// backpressure bound, batching window).
+	ServeConfig = serve.Config
+	// ServeServer is the gate-prediction daemon: it loads a predictor,
+	// ingests telemetry, and answers decisions over the versioned
+	// length-prefixed JSON protocol on TCP or a unix socket.
+	ServeServer = serve.Server
+	// ServeClient is a synchronous client for the serving protocol.
+	ServeClient = serve.Client
+	// ServeRequest and ServeResponse are the protocol's frame bodies.
+	ServeRequest = serve.Request
+	// ServeResponse is one server frame.
+	ServeResponse = serve.Response
+	// RemoteGate is a sched.Gate that delegates its decisions to a
+	// serving daemon with the two-phase check/eval exchange, preserving
+	// byte-identical parity with the in-process RUSH gate and failing
+	// open if the daemon is unreachable.
+	RemoteGate = serve.Gate
+)
+
+// ServeProtoVersion is the wire protocol version spoken by this build;
+// within one version, protocol evolution is additive only.
+const ServeProtoVersion = serve.ProtoVersion
+
+// NewServeServer constructs a serving daemon from a configuration; the
+// returned server answers Handle calls immediately and network clients
+// once attached to a listener via Serve(ServeListen(addr)).
+func NewServeServer(cfg ServeConfig) (*ServeServer, error) { return serve.NewServer(cfg) }
+
+// ServeListen opens the daemon's listener: "unix:/path/sock" for a unix
+// domain socket, anything else as a TCP address.
+func ServeListen(addr string) (net.Listener, error) { return serve.Listen(addr) }
+
+// DialServe connects a client to a serving daemon ("unix:/path/sock" or
+// a TCP address).
+func DialServe(addr string) (*ServeClient, error) { return serve.Dial(addr) }
