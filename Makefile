@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve vet staticcheck fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -88,21 +88,36 @@ bench-serve:
 	echo "$$out" | grep 'CachedDecision' | grep -q ' 0 allocs/op' || { echo "bench-serve: cached decision allocates"; exit 1; }; \
 	echo "$$out" | awk '/CachedDecision/ { if ($$3+0 > 2000) { printf "bench-serve: cached decision regressed to %s ns/op (budget 2000)\n", $$3; exit 1 } }'
 
+# bench-engine guards the full-Quartz acceptance target: a month-long
+# 103k-job workload on the 2,988-node machine, simulated end to end
+# through the sharded contention engine, must finish inside a 10-second
+# wall-clock budget (the measured value is ~0.8s — see BENCH_engine.json,
+# which also records the serial reference executor and the synthetic
+# 4,096-node shape) and inside a 1.4M allocation budget (~2x the
+# measured ~685k, so steady-state churn stays pooled). Only the fast
+# sub-benchmark runs here; the reference numbers live in the JSON.
+bench-engine:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkEngineMonth/quartz/fast' -benchtime 1x -benchmem -timeout 600s .); \
+	echo "$$out"; \
+	echo "$$out" | awk '/EngineMonth\/quartz\/fast/ { if ($$3+0 > 10000000000) { printf "bench-engine: month-long Quartz run regressed to %s ns/op (budget 10s)\n", $$3; exit 1 } }' || exit 1; \
+	echo "$$out" | awk '/EngineMonth\/quartz\/fast/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") { if ($$i+0 > 1400000) { printf "bench-engine: month-long Quartz run regressed to %s allocs/op (budget 1400000)\n", $$i; exit 1 } } }' || exit 1
+
 vet:
 	$(GO) vet ./...
 
 # staticcheck runs honnef.co/go/tools' staticcheck when the binary is on
 # PATH and falls back to go vet otherwise, so CI gets the stronger
 # analysis where available without making it an install-time dependency.
-# The second invocation enforces the internal/sched godoc contract
-# (ST1000 package comment, ST1020 exported-symbol doc comments): every
-# exported scheduler symbol documents its determinism and allocation
+# The second invocation enforces the godoc contract on the scheduler
+# and the engine core (ST1000 package comment, ST1020 exported-symbol
+# doc comments): every exported scheduler, simulation-engine, and
+# contention-state symbol documents its determinism and allocation
 # behaviour, and these checks keep the comments from silently
 # disappearing.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
-		staticcheck -checks ST1000,ST1020 ./internal/sched/; \
+		staticcheck -checks ST1000,ST1020 ./internal/sched/ ./internal/sim/ ./internal/simnet/; \
 	else \
 		echo "staticcheck: binary not found, falling back to go vet"; \
 		$(GO) vet ./...; \
@@ -116,10 +131,11 @@ fmt:
 	fi
 
 # ci is the full gate: formatting, static analysis (vet plus
-# staticcheck when installed, including the internal/sched godoc
+# staticcheck when installed, including the sched/sim/simnet godoc
 # checks), the test suite under the race detector (race subsumes
 # race-hot; both run so the hot paths report first), the zero-alloc
 # observability, gate-decision, nil-lifecycle, deep-queue scheduler,
 # and cached-serving-decision guards, the training-path allocation
-# guard, and the parallel-speedup smoke.
-ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-smoke
+# guard, the month-long full-Quartz engine budget, and the
+# parallel-speedup smoke.
+ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine bench-smoke

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rush/internal/cliflags"
+	"rush/internal/cluster"
 	"rush/internal/core"
 	"rush/internal/experiments"
 	"rush/internal/parallel"
@@ -39,10 +40,17 @@ func main() {
 	pprofPath := cliflags.Pprof()
 	workers := cliflags.Workers()
 	schedRef := cliflags.SchedReference()
+	topoFlag := cliflags.Topo()
+	engineRef := cliflags.EngineReference()
+	engineWorkers := cliflags.EngineWorkers()
 	flag.Parse()
 	if *quick {
 		*days = 30
 		*trials = 2
+	}
+	topo, err := cluster.Parse(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 	log.Printf("running with %d workers", parallel.Workers(*workers))
 
@@ -106,7 +114,8 @@ func main() {
 		}
 		log.Printf("running %s (%d paired trials)...", spec.Name, *trials)
 		cmp, err := experiments.RunExperiment(spec, p, *trials, *seed*1000,
-			experiments.Config{Workers: *workers, Metrics: *metrics, SchedReference: *schedRef})
+			experiments.Config{Topo: topo, Workers: *workers, Metrics: *metrics,
+				SchedReference: *schedRef, EngineReference: *engineRef, EngineWorkers: *engineWorkers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -154,7 +163,8 @@ func main() {
 	if *drift {
 		log.Printf("running drift scenarios (%d trials each)...", *trials)
 		rows, err := experiments.RunDriftExperiment(adaa.Spec, pred, nil, *trials, *seed*1000,
-			experiments.Config{Workers: *workers, Metrics: *metrics, SchedReference: *schedRef})
+			experiments.Config{Topo: topo, Workers: *workers, Metrics: *metrics,
+				SchedReference: *schedRef, EngineReference: *engineRef, EngineWorkers: *engineWorkers})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,15 @@
 // Command rush-sim runs one Table II scheduling experiment under
-// FCFS+EASY, RUSH, or both, on the simulated 512-node pod with the
-// all-to-all noise job, and prints the evaluation metrics.
+// FCFS+EASY, RUSH, or both, on the simulated machine (by default the
+// paper's 512-node pod; -topo quartz simulates the full 2,988-node
+// machine) with the all-to-all noise job, and prints the evaluation
+// metrics.
 //
 // Usage:
 //
 //	rush-sim -experiment ADAA -predictor predictor.json -trials 5 -seed 100
 //	rush-sim -experiment SS -policy baseline -trials 5
 //	rush-sim -experiment ADAA -trace events.jsonl -metrics
+//	rush-sim -experiment ADAA -policy baseline -topo quartz -engine-workers 8
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 
 	"rush/internal/cliflags"
+	"rush/internal/cluster"
 	"rush/internal/core"
 	"rush/internal/experiments"
 	"rush/internal/faults"
@@ -61,7 +65,15 @@ func main() {
 	canaryAllClasses := flag.Bool("canary-all-classes", false, "canary policy also gates compute-intensive jobs")
 	workers := cliflags.Workers()
 	schedRef := cliflags.SchedReference()
+	topoFlag := cliflags.Topo()
+	engineRef := cliflags.EngineReference()
+	engineWorkers := cliflags.EngineWorkers()
 	flag.Parse()
+
+	topo, err := cluster.Parse(*topoFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfile, err := cliflags.StartCPUProfile(*pprofPath)
 	if err != nil {
@@ -77,9 +89,12 @@ func main() {
 		log.Fatalf("trials must be positive, got %d", *trials)
 	}
 	cfg := experiments.Config{
+		Topo:          topo,
 		DelayOnLittle: *delayLittle, AllNodesScope: *allNodes, UseSJF: *sjf,
 		Workers: *workers, Trace: *tracePath != "", Metrics: *metrics,
-		SchedReference: *schedRef,
+		SchedReference:  *schedRef,
+		EngineReference: *engineRef,
+		EngineWorkers:   *engineWorkers,
 	}
 	cfg.Faults = faults.Config{
 		NodeMTBF:      *nodeMTBF,

@@ -16,6 +16,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rush/internal/cluster"
 	"rush/internal/simnet"
@@ -130,26 +131,48 @@ func (p Profile) BaseTime(n int, mode ScalingMode) float64 {
 // also loads the fat tree's core links: under uniform communication the
 // fraction of traffic that crosses pods is 1 - sum((nodes_in_pod/n)^2).
 func (p Profile) Contribution(topo cluster.Topology, alloc cluster.Allocation) simnet.Contribution {
-	podNet := map[int]float64{}
-	podCount := map[int]int{}
+	var c simnet.Contribution
+	p.ContributionInto(topo, alloc, &c)
+	return c
+}
+
+// ContributionInto is Contribution writing into c, reusing c.PodNet's
+// backing map so hot-path callers (pooled running jobs) can rebuild a
+// contribution without allocating. The computed loads are bit-identical
+// to Contribution's: per-pod accumulation follows allocation node order,
+// and the cross-pod fraction is summed in ascending pod order, so the
+// result never depends on map iteration.
+func (p Profile) ContributionInto(topo cluster.Topology, alloc cluster.Allocation, c *simnet.Contribution) {
+	if c.PodNet == nil {
+		c.PodNet = make(map[int]float64, 4)
+	} else {
+		clear(c.PodNet)
+	}
+	podCount := make(map[int]int, 4)
+	pods := make([]int, 0, 8)
 	for _, n := range alloc.Nodes {
 		pod := topo.PodOf(n)
 		// Pod capacity is normalized to 1.0 regardless of pod size, so a
 		// node's share of its pod's fabric is 1/PodSize.
-		podNet[pod] += p.NetPerNode / float64(topo.PodSize)
+		c.PodNet[pod] += p.NetPerNode / float64(topo.PodSize)
+		if podCount[pod] == 0 {
+			pods = append(pods, pod)
+		}
 		podCount[pod]++
 	}
+	sort.Ints(pods)
 	total := float64(len(alloc.Nodes))
+	// crossFrac is 1 - sum of squared per-pod node fractions: the
+	// probability two random job ranks sit in different pods, i.e. the
+	// share of the job's traffic that crosses the core links. Summed in
+	// ascending pod order so the float result is deterministic.
 	crossFrac := 1.0
-	for _, c := range podCount {
-		f := float64(c) / total
+	for _, pod := range pods {
+		f := float64(podCount[pod]) / total
 		crossFrac -= f * f
 	}
-	return simnet.Contribution{
-		PodNet: podNet,
-		Core:   p.NetPerNode * total * crossFrac / float64(topo.Nodes),
-		FS:     p.FSPerNode * total,
-	}
+	c.Core = p.NetPerNode * total * crossFrac / float64(topo.Nodes)
+	c.FS = p.FSPerNode * total
 }
 
 // Slowdown returns the multiplicative run-time inflation for the given

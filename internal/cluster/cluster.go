@@ -11,6 +11,8 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // NodeID identifies a compute node. IDs are dense, starting at zero.
@@ -40,6 +42,52 @@ func Pod512() Topology {
 	return Topology{Nodes: 512, PodSize: 512, CoresPerNode: 36}
 }
 
+// Synthetic returns an N-node topology of podSize-node pods (the last
+// pod may be partial), with Quartz's core count per node. Scale studies
+// use it to grow the machine beyond the two reference configurations —
+// e.g. Synthetic(4096, 512) is the roadmap's 8-pod stress shape.
+func Synthetic(nodes, podSize int) Topology {
+	return Topology{Nodes: nodes, PodSize: podSize, CoresPerNode: 36}
+}
+
+// Parse resolves a -topo flag value: the named reference topologies
+// ("pod512", "quartz") or a synthetic "N,podsize" pair such as
+// "4096,512". The error spells out the accepted forms.
+func Parse(s string) (Topology, error) {
+	switch s {
+	case "pod512":
+		return Pod512(), nil
+	case "quartz":
+		return Quartz(), nil
+	}
+	ns, ps, ok := strings.Cut(s, ",")
+	if !ok {
+		return Topology{}, fmt.Errorf(`cluster: bad topology %q (want "pod512", "quartz", or "N,podsize")`, s)
+	}
+	nodes, err1 := strconv.Atoi(ns)
+	podSize, err2 := strconv.Atoi(ps)
+	if err1 != nil || err2 != nil {
+		return Topology{}, fmt.Errorf(`cluster: bad topology %q (want "pod512", "quartz", or "N,podsize")`, s)
+	}
+	t := Synthetic(nodes, podSize)
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// String renders the topology in the form Parse accepts, naming the
+// reference configurations.
+func (t Topology) String() string {
+	switch t {
+	case Pod512():
+		return "pod512"
+	case Quartz():
+		return "quartz"
+	}
+	return fmt.Sprintf("%d,%d", t.Nodes, t.PodSize)
+}
+
 // Validate reports whether the topology is internally consistent.
 func (t Topology) Validate() error {
 	if t.Nodes <= 0 || t.PodSize <= 0 || t.CoresPerNode <= 0 {
@@ -59,6 +107,16 @@ func (t Topology) Pods() int {
 // PodOf returns the pod index of node n.
 func (t Topology) PodOf(n NodeID) int {
 	return int(n) / t.PodSize
+}
+
+// podSpan returns the number of nodes in pod p (the last pod may be
+// partial).
+func (t Topology) podSpan(p int) int {
+	span := t.Nodes - p*t.PodSize
+	if span > t.PodSize {
+		span = t.PodSize
+	}
+	return span
 }
 
 // Allocation is a set of nodes granted to one job.
@@ -95,6 +153,11 @@ type Allocator struct {
 	used     int    // allocated nodes
 	downFree int    // nodes both free and down (unallocatable)
 	downAll  int    // all down nodes
+
+	// freeByPod[p] counts nodes in pod p that are free and in service.
+	// Maintained incrementally so Alloc is O(pods + n), not O(nodes).
+	freeByPod []int
+	podOrder  []int // scratch for Alloc's emptiest-pods-first ordering
 }
 
 // NewAllocator returns an allocator with every node free and in service.
@@ -107,7 +170,14 @@ func NewAllocator(topo Topology) (*Allocator, error) {
 	for i := range free {
 		free[i] = true
 	}
-	return &Allocator{topo: topo, free: free, down: make([]bool, topo.Nodes)}, nil
+	freeByPod := make([]int, topo.Pods())
+	for p := range freeByPod {
+		freeByPod[p] = topo.podSpan(p)
+	}
+	return &Allocator{
+		topo: topo, free: free, down: make([]bool, topo.Nodes),
+		freeByPod: freeByPod, podOrder: make([]int, topo.Pods()),
+	}, nil
 }
 
 // Topology returns the allocator's topology.
@@ -143,6 +213,7 @@ func (a *Allocator) MarkDown(n NodeID) error {
 	a.downAll++
 	if a.free[n] {
 		a.downFree++
+		a.freeByPod[a.topo.PodOf(n)]--
 	}
 	return nil
 }
@@ -159,6 +230,7 @@ func (a *Allocator) MarkUp(n NodeID) error {
 	a.downAll--
 	if a.free[n] {
 		a.downFree--
+		a.freeByPod[a.topo.PodOf(n)]++
 	}
 	return nil
 }
@@ -179,36 +251,39 @@ func (a *Allocator) Alloc(n int) (Allocation, error) {
 	if !a.CanAlloc(n) {
 		return Allocation{}, fmt.Errorf("cluster: want %d nodes, only %d free", n, a.FreeCount())
 	}
-	// Count allocatable nodes per pod, then fill from the emptiest pods.
-	pods := a.topo.Pods()
-	freeByPod := make([]int, pods)
-	for i, f := range a.free {
-		if f && !a.down[i] {
-			freeByPod[a.topo.PodOf(NodeID(i))]++
-		}
-	}
-	order := make([]int, pods)
+	// Fill from the emptiest pods first, using the incrementally
+	// maintained per-pod free counts. Insertion sort keeps ties in pod
+	// order (the stable order SliceStable produced) without reflection
+	// or allocation; pod counts are small.
+	freeByPod := a.freeByPod
+	order := a.podOrder
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return freeByPod[order[x]] > freeByPod[order[y]]
-	})
+	for i := 1; i < len(order); i++ {
+		p := order[i]
+		j := i
+		for ; j > 0 && freeByPod[order[j-1]] < freeByPod[p]; j-- {
+			order[j] = order[j-1]
+		}
+		order[j] = p
+	}
 
 	nodes := make([]NodeID, 0, n)
 	for _, p := range order {
 		if len(nodes) == n {
 			break
 		}
-		lo := p * a.topo.PodSize
-		hi := lo + a.topo.PodSize
-		if hi > a.topo.Nodes {
-			hi = a.topo.Nodes
+		if freeByPod[p] == 0 {
+			continue
 		}
+		lo := p * a.topo.PodSize
+		hi := lo + a.topo.podSpan(p)
 		for i := lo; i < hi && len(nodes) < n; i++ {
 			if a.free[i] && !a.down[i] {
 				a.free[i] = false
 				a.used++
+				freeByPod[p]--
 				nodes = append(nodes, NodeID(i))
 			}
 		}
@@ -235,6 +310,8 @@ func (a *Allocator) Free(alloc Allocation) {
 		a.used--
 		if a.down[n] {
 			a.downFree++ // stays out of the pool until MarkUp
+		} else {
+			a.freeByPod[a.topo.PodOf(n)]++
 		}
 	}
 }

@@ -96,6 +96,20 @@ type Config struct {
 	// testing and for benchmarking the fast path's speedup.
 	SchedReference bool
 
+	// EngineReference routes every contention change through the
+	// machine's serial full-recompute executor instead of the dirty-lane
+	// fast path (see machine.Machine.DisableFastPath). Simulations are
+	// bit-identical either way; the knob exists for differential testing
+	// and for measuring the sharded engine's speedup.
+	EngineReference bool
+	// EngineWorkers bounds the goroutines the machine may use to fan out
+	// slowdown recomputation inside one trial when a contention change
+	// touches many jobs (see machine.Machine.Workers). 0 or 1 keeps the
+	// engine serial; any value produces bit-identical trials. It is
+	// separate from Workers because trial-level and intra-trial
+	// parallelism multiply.
+	EngineWorkers int
+
 	// Trace records each trial's structured event stream (JSONL) into
 	// Trial.Trace. Events are keyed by simulated time and buffered
 	// per-trial, so traces are byte-identical at any worker count and
@@ -146,7 +160,11 @@ type Trial struct {
 	Experiment string
 	Policy     Policy
 	Seed       int64
-	Jobs       []JobRecord
+	// TopoNodes is the node count of the topology the trial ran on;
+	// utilization denominators derive from it, not from an assumed
+	// reservation size.
+	TopoNodes int
+	Jobs      []JobRecord
 	// Makespan is the duration from first submission to last completion.
 	Makespan float64
 	// GateEvaluations / GateVetoes / ThresholdOverrides report RUSH gate
@@ -223,6 +241,11 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	m.DisableFastPath = cfg.EngineReference
+	m.Workers = cfg.EngineWorkers
+	// Trials never hand *RunningJob to callers, so job-state pooling is
+	// always safe here and keeps machine-scale churn allocation-bounded.
+	m.PoolJobs = true
 	noise, err := m.StartNoise(cfg.Noise)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
@@ -326,7 +349,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
-	tr := &Trial{Experiment: name, Policy: policy, Seed: seed}
+	tr := &Trial{Experiment: name, Policy: policy, Seed: seed, TopoNodes: cfg.Topo.Nodes}
 	var lastEnd float64
 	for _, j := range s.Completed() {
 		rec := JobRecord{

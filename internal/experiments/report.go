@@ -278,14 +278,28 @@ func ReportMaxImprovementString(cmp *Comparison) string {
 func ReportMakespan(w io.Writer, cmps []*Comparison) error {
 	return render(w, func(w io.Writer) {
 		fmt.Fprintf(w, "Figure 10: mean makespan (seconds) and utilization\n")
-		nodes := cluster.Pod512().Nodes
 		for _, cmp := range cmps {
+			nodes := trialNodes(cmp)
 			bm, rm := MeanMakespan(cmp.Baseline), MeanMakespan(cmp.RUSH)
 			bu, ru := MeanUtilization(cmp.Baseline, nodes), MeanUtilization(cmp.RUSH, nodes)
 			fmt.Fprintf(w, "  %-4s FCFS+EASY=%.0f (util %.0f%%)  RUSH=%.0f (util %.0f%%)  (delta %+.0f s)\n",
 				cmp.Experiment, bm, 100*bu, rm, 100*ru, rm-bm)
 		}
 	})
+}
+
+// trialNodes returns the node count the comparison's trials ran on,
+// falling back to the paper's 512-node reservation for trials recorded
+// before topologies were stamped (TopoNodes zero).
+func trialNodes(cmp *Comparison) int {
+	for _, trials := range [][]*Trial{cmp.Baseline, cmp.RUSH} {
+		for _, tr := range trials {
+			if tr.TopoNodes > 0 {
+				return tr.TopoNodes
+			}
+		}
+	}
+	return cluster.Pod512().Nodes
 }
 
 // ReportMakespanString renders ReportMakespan to a string.

@@ -4,14 +4,31 @@
 // completion time is recomputed whenever the contention state changes, so
 // a job that begins under congestion and finishes under calm accrues
 // exactly the right amount of slowdown from each epoch it lived through.
+//
+// # Sharded re-integration
+//
+// Running jobs are kept in per-pod lanes: a lane per pod for jobs whose
+// allocation stays inside that pod, plus a cross lane for jobs spanning
+// pods (which additionally feel core-link contention). A contention
+// change (simnet.Change) names exactly the pods and globals whose
+// contention factor moved, so re-integration touches only the lanes that
+// can possibly be affected — O(changed) instead of O(running jobs) — and
+// at scale the slowdown recomputation fans out across the
+// internal/parallel pool. The apply phase (progress integration and
+// completion rescheduling) is always serial in (pod, lane-position)
+// order, so any Workers value produces bit-identical simulations; see
+// DisableFastPath for the all-jobs serial oracle this is differenced
+// against.
 package machine
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rush/internal/apps"
 	"rush/internal/cluster"
+	"rush/internal/parallel"
 	"rush/internal/sim"
 	"rush/internal/simnet"
 	"rush/internal/telemetry"
@@ -43,8 +60,19 @@ type RunningJob struct {
 	lastT     float64 // time of last integration step
 	multiPod  bool    // allocation spans pods: core contention applies
 	done      *sim.Event
+	armed     bool   // done is queued to fire
+	fire      func() // stable completion callback, set once per object
 	contrib   simnet.Contribution
 	onDone    func(*RunningJob)
+
+	pods      []int     // distinct pods touched, ascending
+	podCounts []float64 // nodes in each of pods, parallel slice
+	nNodes    float64   // len(Alloc.Nodes)
+	pending   float64   // recomputed slowdown awaiting serial apply
+	lane      int       // pod lane index, or -1 for the cross lane
+	laneIdx   int       // position in lanes[lane] (or cross)
+	crossIdx  []int     // positions in crossByPod[pods[i]], cross jobs only
+	mark      uint64    // dedup epoch for affected-set collection
 }
 
 // RunTime returns the job's realized wall-clock run time; it is only
@@ -59,11 +87,41 @@ type Machine struct {
 	Net     *simnet.State
 	Sampler *telemetry.Sampler
 
+	// Workers bounds the goroutines used for the slowdown-recomputation
+	// fan-out when a contention change touches many jobs; 0 or 1 keeps
+	// every recomputation inline on the simulation goroutine. Any value
+	// produces bit-identical simulations: the fan-out only computes pure
+	// per-job slowdowns into per-job slots, and the apply phase is
+	// always serial in lane order.
+	Workers int
+	// DisableFastPath routes every contention change through the serial
+	// reference executor, which recomputes every running job's slowdown
+	// machine-wide. It is the oracle the dirty-lane fast path is
+	// differential-tested against; simulations are bit-identical either
+	// way, the reference is just O(running jobs) per change.
+	DisableFastPath bool
+	// PoolJobs recycles RunningJob state (including the completion
+	// event and contribution map) across jobs, making steady-state job
+	// churn allocation-bounded. Opt-in: a caller that retains a
+	// *RunningJob after its onDone callback returns would observe the
+	// object being reused for a later job.
+	PoolJobs bool
+
 	rng     *sim.Source
+	jitter  *sim.Source // pure hash source for per-job placement jitter
 	probes  *sim.Source
-	jobs    map[*RunningJob]struct{}
 	nextID  int
 	updates bool // reentrancy guard for the state-change hook
+
+	lanes      [][]*RunningJob // per-pod lanes: single-pod jobs, by pod
+	cross      []*RunningJob   // jobs spanning pods
+	crossByPod [][]*RunningJob // cross jobs indexed by each pod they touch
+	nJobs      int
+	epoch      uint64 // affected-set dedup stamp; see RunningJob.mark
+
+	freeJobs   []*RunningJob // PoolJobs freelist
+	affected   []*RunningJob // scratch for change processing
+	podScratch map[int]int   // scratch for per-pod node counts
 }
 
 // New constructs a machine over topo, with all randomness derived from
@@ -78,21 +136,24 @@ func New(eng *sim.Engine, topo cluster.Topology) (*Machine, error) {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
 	m := &Machine{
-		Eng:     eng,
-		Topo:    topo,
-		Alloc:   alloc,
-		Net:     net,
-		Sampler: telemetry.NewSampler(topo, eng.Source().Derive("telemetry")),
-		rng:     eng.Source().Derive("machine"),
-		probes:  eng.Source().Derive("probes"),
-		jobs:    map[*RunningJob]struct{}{},
+		Eng:        eng,
+		Topo:       topo,
+		Alloc:      alloc,
+		Net:        net,
+		Sampler:    telemetry.NewSampler(topo, eng.Source().Derive("telemetry")),
+		rng:        eng.Source().Derive("machine"),
+		jitter:     eng.Source().Derive("machine").Derive("jitter"),
+		probes:     eng.Source().Derive("probes"),
+		lanes:      make([][]*RunningJob, topo.Pods()),
+		crossByPod: make([][]*RunningJob, topo.Pods()),
+		podScratch: make(map[int]int, 8),
 	}
-	m.Net.Subscribe(m.onStateChange)
+	m.Net.SubscribeChanges(m.onNetChange)
 	return m, nil
 }
 
 // Running returns the number of currently executing jobs.
-func (m *Machine) Running() int { return len(m.jobs) }
+func (m *Machine) Running() int { return m.nJobs }
 
 // StartJob begins executing profile on alloc with the given contention-
 // free base run time. onDone is invoked (with the allocation already
@@ -106,38 +167,142 @@ func (m *Machine) StartJob(profile apps.Profile, alloc cluster.Allocation, baseW
 	}
 	id := m.nextID
 	m.nextID++
-	rj := &RunningJob{
-		ID:        id,
-		Profile:   profile,
-		Alloc:     alloc,
-		BaseWork:  baseWork,
-		StartTime: m.Eng.Now(),
-		EndTime:   math.NaN(),
-		jitter:    m.rng.DeriveN("jitter", id).LogNormal(0, profile.Jitter),
-		remaining: baseWork,
-		lastT:     m.Eng.Now(),
-		multiPod:  len(alloc.Pods(m.Topo)) > 1,
-		contrib:   profile.Contribution(m.Topo, alloc),
-		onDone:    onDone,
-	}
+	rj := m.newJob()
+	rj.ID = id
+	rj.Profile = profile
+	rj.Alloc = alloc
+	rj.BaseWork = baseWork
+	rj.StartTime = m.Eng.Now()
+	rj.EndTime = math.NaN()
+	rj.Killed = false
+	rj.jitter = m.jitter.HashLogNormal(0, profile.Jitter, uint64(id))
+	rj.remaining = baseWork
+	rj.lastT = m.Eng.Now()
+	rj.onDone = onDone
+	profile.ContributionInto(m.Topo, alloc, &rj.contrib)
+	m.indexPods(rj)
 	// Apply the job's own load first so that its slowdown includes the
 	// contention it creates (self-contention is real on shared fabrics).
+	// The job is not in a lane yet, so the change notification cannot
+	// re-integrate it before it has a slowdown.
 	m.Net.Apply(rj.contrib)
-	m.jobs[rj] = struct{}{}
+	m.insert(rj)
 	rj.slowdown = m.currentSlowdown(rj)
 	m.scheduleCompletion(rj)
 	return rj
 }
 
+// newJob returns a zeroed-enough RunningJob, recycled from the freelist
+// when pooling is on. The completion callback and event survive reuse.
+func (m *Machine) newJob() *RunningJob {
+	if n := len(m.freeJobs); n > 0 {
+		rj := m.freeJobs[n-1]
+		m.freeJobs[n-1] = nil
+		m.freeJobs = m.freeJobs[:n-1]
+		return rj
+	}
+	rj := &RunningJob{}
+	rj.fire = func() { m.complete(rj) }
+	return rj
+}
+
+// indexPods fills the job's sorted pod list and per-pod node counts,
+// which the weighted slowdown computation and lane bookkeeping consume.
+func (m *Machine) indexPods(rj *RunningJob) {
+	clear(m.podScratch)
+	rj.pods = rj.pods[:0]
+	rj.podCounts = rj.podCounts[:0]
+	for _, n := range rj.Alloc.Nodes {
+		p := m.Topo.PodOf(n)
+		if m.podScratch[p] == 0 {
+			rj.pods = append(rj.pods, p)
+		}
+		m.podScratch[p]++
+	}
+	sort.Ints(rj.pods)
+	for _, p := range rj.pods {
+		rj.podCounts = append(rj.podCounts, float64(m.podScratch[p]))
+	}
+	rj.nNodes = float64(len(rj.Alloc.Nodes))
+	rj.multiPod = len(rj.pods) > 1
+}
+
+// insert places a job into its lane: the pod lane for single-pod jobs,
+// the cross lane (plus each touched pod's cross index) otherwise.
+func (m *Machine) insert(rj *RunningJob) {
+	m.nJobs++
+	if !rj.multiPod {
+		p := rj.pods[0]
+		rj.lane = p
+		rj.laneIdx = len(m.lanes[p])
+		m.lanes[p] = append(m.lanes[p], rj)
+		return
+	}
+	rj.lane = -1
+	rj.laneIdx = len(m.cross)
+	m.cross = append(m.cross, rj)
+	rj.crossIdx = rj.crossIdx[:0]
+	for _, p := range rj.pods {
+		rj.crossIdx = append(rj.crossIdx, len(m.crossByPod[p]))
+		m.crossByPod[p] = append(m.crossByPod[p], rj)
+	}
+}
+
+// removeJob takes a job out of its lane (and cross indexes) by swapping
+// the lane's last entry into its slot.
+func (m *Machine) removeJob(rj *RunningJob) {
+	m.nJobs--
+	if rj.lane >= 0 {
+		removeAt(&m.lanes[rj.lane], rj.laneIdx, func(moved *RunningJob, i int) { moved.laneIdx = i })
+		return
+	}
+	removeAt(&m.cross, rj.laneIdx, func(moved *RunningJob, i int) { moved.laneIdx = i })
+	for i, p := range rj.pods {
+		removeAt(&m.crossByPod[p], rj.crossIdx[i], func(moved *RunningJob, idx int) {
+			// The moved job records its position per touched pod; find
+			// which of its pods this list belongs to.
+			j := sort.SearchInts(moved.pods, p)
+			moved.crossIdx[j] = idx
+		})
+	}
+}
+
+// removeAt swap-removes s[i], telling fix about the entry that moved
+// into the hole. Swap order is deterministic, so lane iteration order —
+// and everything scheduled from it — is too.
+func removeAt(s *[]*RunningJob, i int, fix func(*RunningJob, int)) {
+	sl := *s
+	last := len(sl) - 1
+	if i != last {
+		moved := sl[last]
+		sl[i] = moved
+		fix(moved, i)
+	}
+	sl[last] = nil
+	*s = sl[:last]
+}
+
 // currentSlowdown evaluates a job's wall-per-work factor under the
 // present contention state, including its per-run jitter. Jobs spanning
-// several pods additionally feel core-link contention.
+// several pods additionally feel core-link contention. The pod-network
+// term is the node-weighted mean contention factor over the job's pods,
+// computed in ascending pod order: O(pods touched) rather than O(nodes),
+// and bit-reproducible. Pure state read — safe to evaluate from the
+// parallel fan-out.
 func (m *Machine) currentSlowdown(rj *RunningJob) float64 {
+	var sum float64
+	for i, p := range rj.pods {
+		sum += rj.podCounts[i] * m.Net.NetOverload(p)
+	}
+	netOv := 0.0
+	if rj.nNodes > 0 {
+		netOv = sum / rj.nNodes
+	}
 	coreOv := 0.0
 	if rj.multiPod {
 		coreOv = m.Net.CoreOverload()
 	}
-	s := rj.Profile.SlowdownCore(m.Net.AllocNetOverload(rj.Alloc), coreOv, m.Net.FSOverload()) * rj.jitter
+	s := rj.Profile.SlowdownCore(netOv, coreOv, m.Net.FSOverload()) * rj.jitter
 	if s < 1e-6 {
 		panic(fmt.Sprintf("machine: degenerate slowdown %v", s))
 	}
@@ -157,23 +322,42 @@ func (m *Machine) advance(rj *RunningJob) {
 	}
 }
 
+// scheduleCompletion (re)arms the job's completion event at the
+// projected finish instant. The event object is allocated once per
+// RunningJob and re-timed in place (sim.Engine.Rearm) on every
+// reschedule, so mid-flight contention changes cost no allocations.
 func (m *Machine) scheduleCompletion(rj *RunningJob) {
-	if rj.done != nil {
-		m.Eng.Cancel(rj.done)
+	t := m.Eng.Now() + rj.remaining*rj.slowdown
+	if rj.done == nil {
+		rj.done = m.Eng.At(t, rj.fire)
+	} else {
+		m.Eng.Rearm(rj.done, t)
 	}
-	rj.done = m.Eng.Schedule(rj.remaining*rj.slowdown, func() { m.complete(rj) })
+	rj.armed = true
 }
 
 func (m *Machine) complete(rj *RunningJob) {
 	m.advance(rj)
 	rj.EndTime = m.Eng.Now()
-	rj.done = nil
-	delete(m.jobs, rj)
+	rj.armed = false
+	m.removeJob(rj)
 	m.Alloc.Free(rj.Alloc)
 	m.Net.Remove(rj.contrib)
 	if rj.onDone != nil {
 		rj.onDone(rj)
 	}
+	m.recycle(rj)
+}
+
+// recycle returns a finished job to the freelist when pooling is on.
+// Must run after onDone: callbacks read the job's final state.
+func (m *Machine) recycle(rj *RunningJob) {
+	if !m.PoolJobs {
+		return
+	}
+	rj.onDone = nil
+	rj.Alloc = cluster.Allocation{}
+	m.freeJobs = append(m.freeJobs, rj)
 }
 
 // FailNode takes node out of service: the allocator stops handing it out
@@ -185,23 +369,31 @@ func (m *Machine) FailNode(node cluster.NodeID) (int, error) {
 	if err := m.Alloc.MarkDown(node); err != nil {
 		return 0, fmt.Errorf("machine: %w", err)
 	}
-	var victim *RunningJob
-	for rj := range m.jobs {
-		for _, n := range rj.Alloc.Nodes {
-			if n == node {
-				victim = rj
-				break
-			}
-		}
-		if victim != nil {
-			break
-		}
+	// Any job on node lives either in the node's pod lane or in that
+	// pod's cross index, so the victim scan is O(lane) not O(running).
+	// Allocations are exclusive: at most one job holds the node, so scan
+	// order cannot change which job dies.
+	pod := m.Topo.PodOf(node)
+	victim := findOnNode(m.lanes[pod], node)
+	if victim == nil {
+		victim = findOnNode(m.crossByPod[pod], node)
 	}
 	if victim == nil {
 		return 0, nil
 	}
 	m.kill(victim)
 	return 1, nil
+}
+
+func findOnNode(lane []*RunningJob, node cluster.NodeID) *RunningJob {
+	for _, rj := range lane {
+		for _, n := range rj.Alloc.Nodes {
+			if n == node {
+				return rj
+			}
+		}
+	}
+	return nil
 }
 
 // RestoreNode returns a previously failed node to service.
@@ -217,33 +409,127 @@ func (m *Machine) RestoreNode(node cluster.NodeID) error {
 // withdrawn before onDone fires.
 func (m *Machine) kill(rj *RunningJob) {
 	m.advance(rj)
-	if rj.done != nil {
+	if rj.armed {
 		m.Eng.Cancel(rj.done)
-		rj.done = nil
+		rj.armed = false
 	}
 	rj.EndTime = m.Eng.Now()
 	rj.Killed = true
-	delete(m.jobs, rj)
+	m.removeJob(rj)
 	m.Alloc.Free(rj.Alloc)
 	m.Net.Remove(rj.contrib)
 	if rj.onDone != nil {
 		rj.onDone(rj)
 	}
+	m.recycle(rj)
 }
 
-// onStateChange re-integrates every running job under the new contention
-// state and reschedules its completion.
-func (m *Machine) onStateChange() {
+// parallelThreshold is the affected-job count below which the slowdown
+// recomputation stays inline: fan-out overhead only pays for itself when
+// a change (typically a filesystem threshold crossing at machine scale)
+// touches many jobs at once.
+const parallelThreshold = 64
+
+// onNetChange re-integrates the running jobs a contention change can
+// have affected. A job's slowdown reads only its own pods' contention
+// factors, the core factor (multi-pod jobs), the filesystem factor, and
+// per-job constants; the change names exactly the factors that moved, so
+// jobs outside the named lanes would recompute a bit-identical slowdown
+// and are skipped. Progress is integrated lazily, at slowdown changes
+// only, in both this and the reference path — identical float operation
+// sequences, hence identical trajectories.
+func (m *Machine) onNetChange(ch simnet.Change) {
 	if m.updates {
 		return // a re-integration never changes load; guard anyway
 	}
 	m.updates = true
 	defer func() { m.updates = false }()
-	for rj := range m.jobs {
-		m.advance(rj)
-		s := m.currentSlowdown(rj)
-		if s != rj.slowdown {
-			rj.slowdown = s
+	if m.DisableFastPath {
+		m.reintegrateAll()
+		return
+	}
+	if ch.Empty() {
+		return
+	}
+	aff := m.affected[:0]
+	m.epoch++
+	if ch.FS {
+		// Every job feels filesystem contention: all lanes are affected.
+		for _, lane := range m.lanes {
+			aff = append(aff, lane...)
+		}
+		aff = append(aff, m.cross...)
+	} else {
+		for _, p := range ch.Pods {
+			aff = append(aff, m.lanes[p]...)
+			for _, rj := range m.crossByPod[p] {
+				if rj.mark != m.epoch {
+					rj.mark = m.epoch
+					aff = append(aff, rj)
+				}
+			}
+		}
+		if ch.Core {
+			for _, rj := range m.cross {
+				if rj.mark != m.epoch {
+					rj.mark = m.epoch
+					aff = append(aff, rj)
+				}
+			}
+		}
+	}
+	m.affected = aff
+	m.reintegrate(aff)
+}
+
+// reintegrateAll is the serial reference executor: recompute every
+// running job machine-wide, in (pod, lane-position) order then the cross
+// lane — the same relative order the fast path visits any subset in.
+func (m *Machine) reintegrateAll() {
+	aff := m.affected[:0]
+	for _, lane := range m.lanes {
+		aff = append(aff, lane...)
+	}
+	aff = append(aff, m.cross...)
+	m.affected = aff
+	for _, rj := range aff {
+		rj.pending = m.currentSlowdown(rj)
+	}
+	m.applyPending(aff)
+}
+
+// reintegrate recomputes the affected jobs' slowdowns — fanned out over
+// the parallel pool when the set is large and Workers allows — then
+// applies them serially in collection order.
+func (m *Machine) reintegrate(aff []*RunningJob) {
+	if len(aff) == 0 {
+		return
+	}
+	if m.Workers > 1 && len(aff) >= parallelThreshold {
+		// Compute phase: pure reads of the contention state, one writer
+		// per job slot. The merge is by slot, never completion order.
+		if err := parallel.Run(nil, m.Workers, len(aff), func(i int) error {
+			aff[i].pending = m.currentSlowdown(aff[i])
+			return nil
+		}); err != nil {
+			panic(err) // only currentSlowdown's own degenerate-state panic
+		}
+	} else {
+		for _, rj := range aff {
+			rj.pending = m.currentSlowdown(rj)
+		}
+	}
+	m.applyPending(aff)
+}
+
+// applyPending is the serial barrier phase: integrate progress and
+// re-arm completions for jobs whose slowdown actually moved, in the
+// deterministic collection order.
+func (m *Machine) applyPending(aff []*RunningJob) {
+	for _, rj := range aff {
+		if rj.pending != rj.slowdown {
+			m.advance(rj)
+			rj.slowdown = rj.pending
 			m.scheduleCompletion(rj)
 		}
 	}
@@ -275,14 +561,13 @@ func (m *Machine) StartPruning(interval, keep float64) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("machine: non-positive prune interval %v", interval))
 	}
-	var prune func()
-	prune = func() {
+	var ev *sim.Event
+	ev = m.Eng.Schedule(interval, func() {
 		cut := m.Eng.Now() - keep
 		m.Net.History().Prune(cut)
 		m.Sampler.Prune(cut)
-		m.Eng.Schedule(interval, prune)
-	}
-	m.Eng.Schedule(interval, prune)
+		m.Eng.Rearm(ev, m.Eng.Now()+interval)
+	})
 }
 
 // Noise drives the paper's synthetic all-to-all noise job: it occupies a
@@ -323,15 +608,26 @@ func (nz *Noise) nextPhase() {
 		return
 	}
 	// Withdraw the previous phase's load, draw a new level, apply it.
+	// The contribution map and the phase event are reused across phases,
+	// so a month of noise cycling stays allocation-bounded.
 	nz.m.Net.Remove(nz.current)
 	level := nz.rng.Uniform(0, nz.cfg.MaxLoad)
-	podNet := map[int]float64{}
-	for _, node := range nz.alloc.Nodes {
-		podNet[nz.m.Topo.PodOf(node)] += level / float64(len(nz.alloc.Nodes))
+	if nz.current.PodNet == nil {
+		nz.current.PodNet = make(map[int]float64, 4)
+	} else {
+		clear(nz.current.PodNet)
 	}
-	nz.current = simnet.Contribution{PodNet: podNet, FS: level * nz.cfg.FSFraction}
+	for _, node := range nz.alloc.Nodes {
+		nz.current.PodNet[nz.m.Topo.PodOf(node)] += level / float64(len(nz.alloc.Nodes))
+	}
+	nz.current.FS = level * nz.cfg.FSFraction
 	nz.m.Net.Apply(nz.current)
-	nz.phase = nz.m.Eng.Schedule(nz.rng.Uniform(nz.cfg.MinPhase, nz.cfg.MaxPhase), nz.nextPhase)
+	delay := nz.rng.Uniform(nz.cfg.MinPhase, nz.cfg.MaxPhase)
+	if nz.phase == nil {
+		nz.phase = nz.m.Eng.Schedule(delay, nz.nextPhase)
+	} else {
+		nz.m.Eng.Rearm(nz.phase, nz.m.Eng.Now()+delay)
+	}
 }
 
 // Stop withdraws the noise load and frees its nodes.

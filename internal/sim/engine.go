@@ -128,6 +128,30 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	return ev
 }
 
+// Rearm re-times ev to fire at absolute virtual time t, which must not
+// be in the past. It is equivalent to Cancel(ev) followed by
+// At(t, ev.Fn) — the event receives a fresh sequence number, so its
+// tie-break position among same-time events is exactly as if it had
+// been newly scheduled — but reuses ev's allocation. Rearm works on
+// queued, cancelled, and already-fired events alike, which lets a
+// long-lived process (a job's completion event, a periodic sampler)
+// drive the whole simulation from a single Event value.
+func (e *Engine) Rearm(ev *Event, t float64) {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("sim: rearm into the past: t=%v now=%v", t, e.now))
+	}
+	ev.Time = t
+	ev.seq = e.seq
+	e.seq++
+	ev.cancelled = false
+	if ev.index >= 0 {
+		heap.Fix(&e.events, ev.index)
+	} else {
+		heap.Push(&e.events, ev)
+	}
+	e.cScheduled.Inc()
+}
+
 // Cancel prevents ev from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {

@@ -36,6 +36,27 @@ func (s *Source) HashUnit(words ...uint64) float64 {
 	return float64(s.Hash64(words...)>>11) / float64(1<<53)
 }
 
+// HashNormal maps Hash64 to a draw from N(mu, sigma^2) via the
+// Box–Muller transform on two uniforms expanded from the hash. Like
+// Hash64 it is pure, so hot paths that need one Gaussian per entity
+// (per-job placement jitter) use it instead of seeding a full child
+// stream per entity, which costs a generator-table fill and its
+// allocation per call.
+func (s *Source) HashNormal(mu, sigma float64, words ...uint64) float64 {
+	h := s.Hash64(words...)
+	u1 := float64(splitmix64(h)>>11) / float64(1<<53)
+	u2 := float64(splitmix64(h^0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+	// 1-u1 lies in (0, 1], keeping the log finite.
+	z := math.Sqrt(-2*math.Log(1-u1)) * math.Cos(2*math.Pi*u2)
+	return mu + sigma*z
+}
+
+// HashLogNormal returns a draw whose logarithm is N(mu, sigma^2),
+// derived purely from the hash of the given words (see HashNormal).
+func (s *Source) HashLogNormal(mu, sigma float64, words ...uint64) float64 {
+	return math.Exp(s.HashNormal(mu, sigma, words...))
+}
+
 // NewSource returns a source rooted at seed.
 func NewSource(seed int64) *Source {
 	return &Source{seed: seed, rng: rand.New(rand.NewSource(int64(splitmix64(uint64(seed)))))}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestRearmEquivalentToCancelAndAt pins Rearm's defining property: an
+// engine that re-times events in place fires the identical sequence, at
+// identical times, as one that cancels and schedules fresh events —
+// including the tie-break position among same-time events.
+func TestRearmEquivalentToCancelAndAt(t *testing.T) {
+	run := func(rearm bool) []int {
+		e := New(1)
+		var order []int
+		mk := func(id int, at float64) *Event {
+			return e.At(at, func() { order = append(order, id) })
+		}
+		a := mk(1, 10)
+		mk(2, 10)
+		mk(3, 20)
+		// Re-time event 1 from t=10 to t=20: it must now fire after
+		// event 3 (fresh sequence number), exactly as a new schedule.
+		if rearm {
+			e.Rearm(a, 20)
+		} else {
+			e.Cancel(a)
+			mk(1, 20)
+		}
+		e.Run()
+		return order
+	}
+	got, want := run(true), run(false)
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("rearm order %v, cancel+at order %v", got, want)
+	}
+	if got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("order = %v, want [2 3 1]", got)
+	}
+}
+
+// TestRearmRevivesCancelledAndFired pins that Rearm works on events in
+// any state: cancelled events revive, and an event may re-arm itself
+// from inside its own callback (the periodic-event pooling pattern).
+func TestRearmRevivesCancelledAndFired(t *testing.T) {
+	e := New(1)
+	fires := 0
+	var ev *Event
+	ev = e.Schedule(5, func() {
+		fires++
+		if fires < 3 {
+			e.Rearm(ev, e.Now()+5)
+		}
+	})
+	e.Cancel(ev)
+	e.Rearm(ev, 5) // revive
+	e.Run()
+	if fires != 3 {
+		t.Fatalf("fires = %d, want 3 (revival + 2 self-rearms)", fires)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("final time = %v, want 15", e.Now())
+	}
+}
+
+// TestRearmIntoPastPanics pins the same causality guard At has.
+func TestRearmIntoPastPanics(t *testing.T) {
+	e := New(1)
+	ev := e.At(10, func() {})
+	e.RunUntil(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rearm into the past must panic")
+		}
+	}()
+	e.Rearm(ev, 5)
+}
+
+// TestRearmDoesNotAllocate pins the pooling contract: re-timing a
+// queued event performs zero heap allocations, so completion
+// rescheduling under contention churn is allocation-free.
+func TestRearmDoesNotAllocate(t *testing.T) {
+	e := New(1)
+	ev := e.At(1e18, func() {})
+	for i := 0; i < 64; i++ {
+		// A small heap so Fix/Push have real work to do.
+		e.At(1e17+float64(i), func() {})
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		e.Rearm(ev, 1e18)
+	})
+	if n != 0 {
+		t.Fatalf("Rearm allocates %v times per op, want 0", n)
+	}
+}
+
+// TestRearmCountsAsScheduled pins the metrics contract: a rearm is a
+// schedule for accounting purposes, exactly like the Cancel+At pair it
+// replaces minus the cancel.
+func TestRearmCountsAsScheduled(t *testing.T) {
+	e := New(1)
+	ev := e.At(10, func() {})
+	before := e.seq
+	e.Rearm(ev, 12)
+	if e.seq != before+1 {
+		t.Fatalf("seq advanced by %d, want 1", e.seq-before)
+	}
+}

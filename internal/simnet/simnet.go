@@ -1,6 +1,7 @@
 // Package simnet models the shared resources whose contention causes
-// performance variability: the per-pod fat-tree network and the global
-// parallel filesystem (Lustre on the paper's Quartz cluster).
+// performance variability: the per-pod fat-tree network, the fat tree's
+// upper (inter-pod core) links, and the global parallel filesystem
+// (Lustre on the paper's Quartz cluster).
 //
 // Load is tracked in normalized units where 1.0 is the nominal capacity of
 // the resource. Running jobs, the all-to-all noise job, and ambient
@@ -9,6 +10,22 @@
 // aggregated over any past window without sampling every node at every
 // tick, and notifies subscribers whenever the load changes so running jobs
 // can re-integrate their remaining work.
+//
+// # Incremental change tracking
+//
+// At full-machine scale (the paper's Quartz is 2,988 nodes across sixteen
+// pods) the consumers of load changes must not pay for the whole machine
+// on every mutation. The state therefore tracks dirtiness at the
+// granularity a slowdown computation actually consumes: a pod is dirty
+// only when its contention factor (Overload of its load) changed, not
+// merely its raw load, and the core-link and filesystem loads are
+// separately versioned globals with their own dirtiness bits. Subscribers
+// registered through SubscribeChanges receive a Change describing exactly
+// which pods and globals crossed to a different contention factor, so a
+// machine with hundreds of running jobs re-integrates only the jobs whose
+// inputs moved. Mutations apply pod loads in ascending pod order
+// regardless of how the Contribution map iterates, keeping every
+// notification — and everything downstream of it — deterministic.
 package simnet
 
 import (
@@ -31,16 +48,45 @@ type Contribution struct {
 	FS float64
 }
 
+// Change describes which resources a single mutation moved to a
+// different contention factor. A pod, the core links, or the filesystem
+// is reported only when Overload of its load actually changed — raw load
+// movement entirely below the congestion threshold dirties nothing,
+// because no slowdown computed from the state can have changed.
+type Change struct {
+	// Pods lists, in ascending order, the pods whose network contention
+	// factor changed. The slice aliases the state's scratch buffer and is
+	// valid only for the duration of the callback; copy it to retain.
+	Pods []int
+	// Core reports whether the inter-pod core-link contention factor
+	// changed.
+	Core bool
+	// FS reports whether the filesystem contention factor changed.
+	FS bool
+}
+
+// Empty reports whether the change moved no contention factor at all.
+func (c Change) Empty() bool { return len(c.Pods) == 0 && !c.Core && !c.FS }
+
 // State tracks the current load on every shared resource.
 type State struct {
-	topo    cluster.Topology
-	podNet  []float64
-	core    float64
-	fs      float64
-	now     func() float64
-	hist    *History
-	subs    []func()
+	topo   cluster.Topology
+	podNet []float64
+	core   float64
+	fs     float64
+	now    func() float64
+	hist   *History
+	subs   []func()
+	chSubs []func(Change)
+
 	version uint64
+	podVer  []uint64
+	coreVer uint64
+	fsVer   uint64
+
+	keyBuf   []int // sorted Contribution pods, reused across mutations
+	dirtyBuf []int // pods whose Overload changed, reused across mutations
+	inMutate bool
 }
 
 // NewState returns a state for topo whose history is stamped with times
@@ -53,6 +99,7 @@ func NewState(topo cluster.Topology, now func() float64) (*State, error) {
 	s := &State{
 		topo:   topo,
 		podNet: make([]float64, topo.Pods()),
+		podVer: make([]uint64, topo.Pods()),
 		now:    now,
 		hist:   &History{pods: topo.Pods()},
 	}
@@ -63,12 +110,31 @@ func NewState(topo cluster.Topology, now func() float64) (*State, error) {
 // Topology returns the state's topology.
 func (s *State) Topology() cluster.Topology { return s.topo }
 
-// Version increments on every load change; callers can cheaply detect
-// staleness.
+// Version increments on every mutation; callers can cheaply detect
+// staleness of anything derived from the whole state.
 func (s *State) Version() uint64 { return s.version }
 
-// Subscribe registers fn to run after every load change.
+// PodVersion increments whenever pod's raw network load changes, so
+// per-pod caches can be validated without touching the other pods.
+func (s *State) PodVersion(pod int) uint64 { return s.podVer[pod] }
+
+// CoreVersion increments whenever the raw core-link load changes.
+func (s *State) CoreVersion() uint64 { return s.coreVer }
+
+// FSVersion increments whenever the raw filesystem load changes.
+func (s *State) FSVersion() uint64 { return s.fsVer }
+
+// Subscribe registers fn to run after every mutation, whether or not any
+// contention factor moved. Prefer SubscribeChanges at scale: a legacy
+// subscriber pays for every mutation machine-wide.
 func (s *State) Subscribe(fn func()) { s.subs = append(s.subs, fn) }
+
+// SubscribeChanges registers fn to run after every mutation with the set
+// of resources whose contention factor changed (possibly empty).
+// Callbacks must not mutate the state re-entrantly — Apply/Remove from
+// inside a callback panics — and must not retain Change.Pods beyond the
+// call.
+func (s *State) SubscribeChanges(fn func(Change)) { s.chSubs = append(s.chSubs, fn) }
 
 // Apply adds a contribution to the current load.
 func (s *State) Apply(c Contribution) {
@@ -82,36 +148,83 @@ func (s *State) Remove(c Contribution) {
 }
 
 func (s *State) mutate(c Contribution, sign float64) {
-	for pod, l := range c.PodNet {
+	if s.inMutate {
+		panic("simnet: re-entrant mutation from a subscriber callback")
+	}
+	s.inMutate = true
+	defer func() { s.inMutate = false }()
+
+	// Pod loads are applied in ascending pod order. Each pod's update is
+	// independent, so the final loads are bit-identical to any other
+	// order — sorting exists so the dirty set, and every notification
+	// built from it, is deterministic regardless of map iteration.
+	keys := s.keyBuf[:0]
+	for pod := range c.PodNet {
 		if pod < 0 || pod >= len(s.podNet) {
 			panic(fmt.Sprintf("simnet: pod %d out of range (%d pods)", pod, len(s.podNet)))
 		}
-		s.podNet[pod] += sign * l
-		if s.podNet[pod] < 0 {
-			if s.podNet[pod] < -1e-9 {
-				panic(fmt.Sprintf("simnet: pod %d load went negative: %v", pod, s.podNet[pod]))
+		keys = append(keys, pod)
+	}
+	sort.Ints(keys)
+	dirty := s.dirtyBuf[:0]
+	for _, pod := range keys {
+		old := s.podNet[pod]
+		nv := old + sign*c.PodNet[pod]
+		if nv < 0 {
+			if nv < -1e-9 {
+				panic(fmt.Sprintf("simnet: pod %d load went negative: %v", pod, nv))
 			}
-			s.podNet[pod] = 0
+			nv = 0
+		}
+		if nv == old {
+			continue
+		}
+		s.podNet[pod] = nv
+		s.podVer[pod]++
+		if Overload(nv) != Overload(old) {
+			dirty = append(dirty, pod)
 		}
 	}
-	s.core += sign * c.Core
-	if s.core < 0 {
-		if s.core < -1e-9 {
-			panic(fmt.Sprintf("simnet: core load went negative: %v", s.core))
+	var coreDirty, fsDirty bool
+	oldCore := s.core
+	nv := oldCore + sign*c.Core
+	if nv < 0 {
+		if nv < -1e-9 {
+			panic(fmt.Sprintf("simnet: core load went negative: %v", nv))
 		}
-		s.core = 0
+		nv = 0
 	}
-	s.fs += sign * c.FS
-	if s.fs < 0 {
-		if s.fs < -1e-9 {
-			panic(fmt.Sprintf("simnet: fs load went negative: %v", s.fs))
+	if nv != oldCore {
+		s.core = nv
+		s.coreVer++
+		coreDirty = Overload(nv) != Overload(oldCore)
+	}
+	oldFS := s.fs
+	nv = oldFS + sign*c.FS
+	if nv < 0 {
+		if nv < -1e-9 {
+			panic(fmt.Sprintf("simnet: fs load went negative: %v", nv))
 		}
-		s.fs = 0
+		nv = 0
+	}
+	if nv != oldFS {
+		s.fs = nv
+		s.fsVer++
+		fsDirty = Overload(nv) != Overload(oldFS)
 	}
 	s.version++
+	// History records every raw-load epoch even when no contention
+	// factor moved: telemetry samples raw loads, not just overloads.
 	s.hist.append(s.now(), s.podNet, s.core, s.fs)
+	s.keyBuf, s.dirtyBuf = keys, dirty
 	for _, fn := range s.subs {
 		fn()
+	}
+	if len(s.chSubs) > 0 {
+		ch := Change{Pods: dirty, Core: coreDirty, FS: fsDirty}
+		for _, fn := range s.chSubs {
+			fn(ch)
+		}
 	}
 }
 
