@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine vet staticcheck fmt ci
+.PHONY: build test race race-hot bench-smoke bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine bench-replay vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -102,22 +102,37 @@ bench-engine:
 	echo "$$out" | awk '/EngineMonth\/quartz\/fast/ { if ($$3+0 > 10000000000) { printf "bench-engine: month-long Quartz run regressed to %s ns/op (budget 10s)\n", $$3; exit 1 } }' || exit 1; \
 	echo "$$out" | awk '/EngineMonth\/quartz\/fast/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") { if ($$i+0 > 1400000) { printf "bench-engine: month-long Quartz run regressed to %s allocs/op (budget 1400000)\n", $$i; exit 1 } } }' || exit 1
 
+# bench-replay guards the long-horizon acceptance target: a year-long
+# ~1M-job workload streamed through the bounded-memory replay driver on
+# full Quartz must finish inside a 10-second wall-clock budget per
+# simulated year (the measured value is ~4.3s — see BENCH_replay.json,
+# which also records the SWF-scanner variant that parses a million-line
+# trace on the way in) and inside a 64MB peak-heap budget (the measured
+# flat profile is ~9MB; a retained job history would be hundreds of MB).
+# The heap check reads the benchmark's peak-heap-MB metric, which is the
+# high-water mark of daily runtime.ReadMemStats samples over the run.
+bench-replay:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkReplayYear/quartz/stream' -benchtime 1x -benchmem -timeout 600s .); \
+	echo "$$out"; \
+	echo "$$out" | awk '/ReplayYear\/quartz\/stream/ { if ($$3+0 > 10000000000) { printf "bench-replay: year-long Quartz replay regressed to %s ns/op (budget 10s)\n", $$3; exit 1 } }' || exit 1; \
+	echo "$$out" | awk '/ReplayYear\/quartz\/stream/ { for (i=1; i<NF; i++) if ($$(i+1) == "peak-heap-MB") { if ($$i+0 > 64) { printf "bench-replay: year-long replay peak heap grew to %s MB (budget 64)\n", $$i; exit 1 } } }' || exit 1
+
 vet:
 	$(GO) vet ./...
 
 # staticcheck runs honnef.co/go/tools' staticcheck when the binary is on
 # PATH and falls back to go vet otherwise, so CI gets the stronger
 # analysis where available without making it an install-time dependency.
-# The second invocation enforces the godoc contract on the scheduler
-# and the engine core (ST1000 package comment, ST1020 exported-symbol
-# doc comments): every exported scheduler, simulation-engine, and
-# contention-state symbol documents its determinism and allocation
-# behaviour, and these checks keep the comments from silently
-# disappearing.
+# The second invocation enforces the godoc contract on the scheduler,
+# the engine core, and the workload loaders (ST1000 package comment,
+# ST1020 exported-symbol doc comments): every exported scheduler,
+# simulation-engine, contention-state, and trace-ingest symbol
+# documents its determinism and allocation behaviour, and these checks
+# keep the comments from silently disappearing.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
-		staticcheck -checks ST1000,ST1020 ./internal/sched/ ./internal/sim/ ./internal/simnet/; \
+		staticcheck -checks ST1000,ST1020 ./internal/sched/ ./internal/sim/ ./internal/simnet/ ./internal/workload/; \
 	else \
 		echo "staticcheck: binary not found, falling back to go vet"; \
 		$(GO) vet ./...; \
@@ -136,6 +151,7 @@ fmt:
 # race-hot; both run so the hot paths report first), the zero-alloc
 # observability, gate-decision, nil-lifecycle, deep-queue scheduler,
 # and cached-serving-decision guards, the training-path allocation
-# guard, the month-long full-Quartz engine budget, and the
+# guard, the month-long full-Quartz engine budget, the year-long
+# streaming-replay wall-clock and peak-heap budgets, and the
 # parallel-speedup smoke.
-ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine bench-smoke
+ci: fmt vet staticcheck race-hot race bench-obs bench-gate bench-train bench-lifecycle bench-sched bench-serve bench-engine bench-replay bench-smoke

@@ -1,8 +1,10 @@
 // SWF replay: exchange workloads with standard HPC tooling. This example
 // runs one baseline trial of the ADAA workload, exports the completed
 // jobs as a Standard Workload Format (SWF) trace — the format of the
-// Parallel Workloads Archive — then re-imports that trace and replays it
-// under RUSH. The same path replays any real cluster log.
+// Parallel Workloads Archive — then streams that trace back through the
+// bounded-memory replay driver with the RUSH gate off and on. The same
+// path replays any real cluster log: point OpenSWF at an archive file
+// (gzip included) instead of the in-memory export.
 package main
 
 import (
@@ -11,7 +13,6 @@ import (
 	"log"
 
 	"rush"
-	"rush/internal/experiments"
 	"rush/internal/sched"
 	"rush/internal/workload"
 )
@@ -49,46 +50,33 @@ func main() {
 			SubmitTime: r.Submit, StartTime: r.Start, EndTime: r.End,
 		})
 	}
-	var buf bytes.Buffer
-	if err := workload.WriteSWF(&buf, jobs, "ADAA baseline trial, seed 42"); err != nil {
+	var swf bytes.Buffer
+	if err := workload.WriteSWF(&swf, jobs, "ADAA baseline trial, seed 42"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exported %d jobs as SWF (%d bytes)\n", len(jobs), buf.Len())
+	fmt.Printf("exported %d jobs as SWF (%d bytes)\n", len(jobs), swf.Len())
+	fmt.Printf("streaming the trace back under FCFS+EASY and RUSH...\n\n")
 
-	// Re-import the trace and replay it under both policies.
-	trace, err := workload.ParseSWF(&buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stream, err := workload.FromSWF(trace, workload.SWFOptions{CoresPerNode: 1, MaxNodes: 512, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("replaying %d SWF jobs under FCFS+EASY and RUSH...\n\n", len(stream))
-
-	replay := func(policy rush.Policy) *experiments.Trial {
-		// FromSWF shares *sched.Job pointers; regenerate per policy.
-		st, _ := workload.FromSWF(trace, workload.SWFOptions{CoresPerNode: 1, MaxNodes: 512, Seed: 1})
-		tr, err := experiments.RunTrialJobs("SWF-replay", st, experiments.Policy(policy), pred, 42, experiments.Config{})
+	// Replay the trace through the streaming driver. Each replay opens a
+	// fresh stream: streams are single-pass, and the driver only ever
+	// materializes the jobs currently in flight, so the same loop handles
+	// a million-job archive log in bounded memory.
+	replay := func(policy rush.Policy, p *rush.Predictor) *rush.ReplaySummary {
+		stream := rush.NewSWFStream(bytes.NewReader(swf.Bytes()),
+			rush.SWFOptions{CoresPerNode: 1, MaxNodes: 512, Seed: 1})
+		sum, err := rush.ReplayStream("swf-replay", stream, policy, p, 42, rush.ExperimentConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return tr
+		return sum
 	}
-	b := replay(rush.PolicyBaseline)
-	r := replay(rush.PolicyRUSH)
+	b := replay(rush.PolicyBaseline, nil) // gate off
+	r := replay(rush.PolicyRUSH, pred)    // gate on
 
-	fmt.Printf("%-12s makespan=%.0fs  mean-wait=%.0fs\n", b.Policy, b.Makespan, meanWait(b))
-	fmt.Printf("%-12s makespan=%.0fs  mean-wait=%.0fs  (model evals=%d, delays=%d)\n",
-		r.Policy, r.Makespan, meanWait(r), r.GateEvaluations, r.GateVetoes)
-}
-
-func meanWait(tr *experiments.Trial) float64 {
-	var sum float64
-	for _, j := range tr.Jobs {
-		sum += j.Wait
-	}
-	return sum / float64(len(tr.Jobs))
+	fmt.Printf("%-12s jobs=%d makespan=%.0fs  mean-wait=%.0fs\n",
+		b.Policy, b.Jobs, b.Makespan, b.Wait.Mean)
+	fmt.Printf("%-12s jobs=%d makespan=%.0fs  mean-wait=%.0fs  (model evals=%d, delays=%d)\n",
+		r.Policy, r.Jobs, r.Makespan, r.Wait.Mean, r.GateEvaluations, r.GateVetoes)
 }
 
 func rushAppProfile(name string) (rush.AppProfile, error) {

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
 
 	"rush/internal/apps"
 	"rush/internal/cluster"
@@ -110,6 +111,35 @@ type Config struct {
 	// parallelism multiply.
 	EngineWorkers int
 
+	// PruneInterval and PruneKeep control the machine's telemetry-history
+	// retention: every PruneInterval simulated seconds, load epochs and
+	// cached sample rows older than PruneKeep are dropped. The defaults
+	// (one telemetry window, keeping three) cover every consumer's widest
+	// lookback with slack; long-horizon replays depend on this rolling
+	// window to hold state bounded over a simulated year. Retention wider
+	// than the default never changes a schedule — consumers only read the
+	// last window — which the pruning differential in replay_test pins.
+	PruneInterval float64
+	PruneKeep     float64
+
+	// MemSample, when positive, samples the Go runtime heap every
+	// MemSample simulated seconds into the metrics registry: the
+	// sim_heap_inuse gauge holds the latest live-heap sample and
+	// replay_peak_rss the high-water mark of the runtime's total memory
+	// footprint; the live-heap high-water mark also lands in
+	// ReplaySummary.PeakHeapBytes. Sampling draws no randomness and
+	// mutates no simulation state, but it does occupy event-queue slots,
+	// so compare traces only across runs with the same MemSample setting.
+	MemSample float64
+
+	// ReplaySlowdown is the slowdown (realized run time over
+	// contention-free base work) at or above which a replayed job counts
+	// as high-variation in ReplaySummary (default 1.5). The paper's
+	// z-score definition needs the full per-app run-time distribution;
+	// a fixed slowdown threshold is the one-pass analogue a streaming
+	// replay can afford.
+	ReplaySlowdown float64
+
 	// Trace records each trial's structured event stream (JSONL) into
 	// Trial.Trace. Events are keyed by simulated time and buffered
 	// per-trial, so traces are byte-identical at any worker count and
@@ -131,6 +161,15 @@ func (c *Config) fill() {
 	}
 	if c.MaxSimTime <= 0 {
 		c.MaxSimTime = 6 * 3600
+	}
+	if c.PruneInterval <= 0 {
+		c.PruneInterval = telemetry.WindowSeconds
+	}
+	if c.PruneKeep <= 0 {
+		c.PruneKeep = 3 * telemetry.WindowSeconds
+	}
+	if c.ReplaySlowdown <= 0 {
+		c.ReplaySlowdown = 1.5
 	}
 }
 
@@ -213,10 +252,31 @@ func RunTrial(spec workload.Spec, policy Policy, pred *core.Predictor, seed int6
 	return RunTrialJobs(spec.Name, jobs, policy, pred, seed, cfg)
 }
 
-// RunTrialJobs executes an arbitrary job stream (e.g. one replayed from
-// an SWF trace via workload.FromSWF) under the given policy.
-func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
-	cfg.fill()
+// trialEnv is one trial's fully wired simulation environment — engine,
+// observation channels, machine, fault injector, gate, and scheduler —
+// shared by the eager driver (RunTrialJobs) and the streaming replay
+// driver (ReplayStream). Construction order is load-bearing: every
+// random stream derives from the engine seed in the order components
+// attach, so the eager and streaming drivers assemble identical
+// environments by running this one function.
+type trialEnv struct {
+	eng        *sim.Engine
+	traceBuf   *bytes.Buffer
+	tracer     *obs.Tracer
+	reg        *obs.Registry
+	observer   *obs.Observer
+	m          *machine.Machine
+	noise      *machine.Noise
+	inj        *faults.Injector
+	rushGate   *sched.RUSH
+	canaryGate *sched.Canary
+	lcm        *lifecycle.Manager
+	s          *sched.Scheduler
+	peakHeap   uint64
+}
+
+// newTrialEnv assembles the environment. cfg must already be filled.
+func newTrialEnv(name string, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*trialEnv, error) {
 	eng := sim.New(seed)
 
 	// Per-trial observation channels. Buffering the trace in memory (and
@@ -227,7 +287,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	var tracer *obs.Tracer
 	if cfg.Trace {
 		traceBuf = &bytes.Buffer{}
-		tracer = obs.NewTracer(traceBuf)
+		tracer = obs.NewBatchedTracer(traceBuf)
 	}
 	var reg *obs.Registry
 	if cfg.Metrics {
@@ -257,19 +317,21 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	// Bound the trial's memory: periodically drop load epochs and cached
 	// sample rows older than every consumer's widest lookback (the gate
 	// aggregates one window and tolerates up to MaxStaleness of frozen
-	// history; triple the window covers both with slack).
-	m.StartPruning(telemetry.WindowSeconds, 3*telemetry.WindowSeconds)
+	// history; the default of triple the window covers both with slack).
+	m.StartPruning(cfg.PruneInterval, cfg.PruneKeep)
+
+	env := &trialEnv{
+		eng: eng, traceBuf: traceBuf, tracer: tracer, reg: reg,
+		observer: observer, m: m, noise: noise, inj: inj,
+	}
 
 	var gate sched.Gate = sched.AlwaysStart{}
-	var rushGate *sched.RUSH
-	var canaryGate *sched.Canary
-	var lcm *lifecycle.Manager
 	switch policy {
 	case RUSH:
 		if pred == nil || pred.Model == nil {
 			return nil, fmt.Errorf("experiments: RUSH policy requires a trained predictor")
 		}
-		rushGate = sched.NewRUSH(m, pred.Model)
+		rushGate := sched.NewRUSH(m, pred.Model)
 		rushGate.AllNodesScope = cfg.AllNodesScope
 		rushGate.ProbThreshold = cfg.ProbThreshold
 		rushGate.ModelDown = inj.ModelDown()
@@ -277,7 +339,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 			rushGate.VariationLabels[1] = true // dataset.LabelLittle
 		}
 		modelName, modelSeed := pred.ModelName, seed
-		lcm, err = lifecycle.New(cfg.Lifecycle, lifecycle.Deps{
+		lcm, err := lifecycle.New(cfg.Lifecycle, lifecycle.Deps{
 			Host:            rushGate,
 			Now:             eng.Now,
 			Stats:           pred.Stats,
@@ -293,9 +355,10 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		if lcm != nil {
 			rushGate.Hook = lcm
 		}
+		env.rushGate, env.lcm = rushGate, lcm
 		gate = rushGate
 	case Canary:
-		canaryGate = sched.NewCanary(m)
+		canaryGate := sched.NewCanary(m)
 		if cfg.CanaryThreshold != 0 {
 			if cfg.CanaryThreshold < 0 {
 				return nil, fmt.Errorf("experiments: canary threshold must be positive, got %v", cfg.CanaryThreshold)
@@ -303,6 +366,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 			canaryGate.SlowdownThreshold = cfg.CanaryThreshold
 		}
 		canaryGate.AllClasses = cfg.CanaryAllClasses
+		env.canaryGate = canaryGate
 		gate = canaryGate
 	}
 	var r1, r2 sched.Policy = sched.FCFS{}, sched.FCFS{}
@@ -317,9 +381,41 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	if lcm != nil {
-		s.OnComplete = lcm.JobCompleted
+	if env.lcm != nil {
+		s.OnComplete = env.lcm.JobCompleted
 	}
+	env.s = s
+
+	// The heap sampler rides the event queue: cheap, deterministic in
+	// simulated time, and off unless asked for.
+	if cfg.MemSample > 0 {
+		heapGauge := reg.Gauge("sim_heap_inuse")
+		rssGauge := reg.Gauge("replay_peak_rss")
+		var sample func()
+		sample = func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			heapGauge.Set(float64(ms.HeapInuse))
+			rssGauge.Max(float64(ms.Sys))
+			if ms.HeapInuse > env.peakHeap {
+				env.peakHeap = ms.HeapInuse
+			}
+			eng.ScheduleOnce(cfg.MemSample, sample)
+		}
+		eng.ScheduleOnce(cfg.MemSample, sample)
+	}
+	return env, nil
+}
+
+// RunTrialJobs executes an arbitrary job stream (e.g. one replayed from
+// an SWF trace via workload.FromSWF) under the given policy.
+func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred *core.Predictor, seed int64, cfg Config) (*Trial, error) {
+	cfg.fill()
+	env, err := newTrialEnv(name, policy, pred, seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, s := env.eng, env.s
 
 	immediate := map[int]bool{}
 	for _, sj := range jobs {
@@ -344,7 +440,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 				len(s.Completed()), len(jobs))
 		}
 	}
-	noise.Stop()
+	env.noise.Stop()
 	if err := s.Err(); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -371,10 +467,10 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		}
 	}
 	tr.Makespan = lastEnd // first submission is at t = 0
-	tr.NodeFailures = inj.NodeFailures
-	tr.NodeRepairs = inj.NodeRepairs
-	tr.JobKills = inj.JobKills
-	if rushGate != nil {
+	tr.NodeFailures = env.inj.NodeFailures
+	tr.NodeRepairs = env.inj.NodeRepairs
+	tr.JobKills = env.inj.JobKills
+	if rushGate := env.rushGate; rushGate != nil {
 		tr.GateEvaluations = rushGate.Evaluations
 		tr.GateVetoes = rushGate.Vetoes
 		tr.ThresholdOverrides = rushGate.ThresholdOverrides
@@ -384,7 +480,7 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 			tr.BreakerTrips = rushGate.Breaker.Trips
 		}
 	}
-	if lcm != nil {
+	if lcm := env.lcm; lcm != nil {
 		tr.DriftDetections = lcm.DriftDetections
 		tr.FirstDriftAt = lcm.FirstDriftAt
 		tr.Retrains = lcm.Retrains
@@ -393,19 +489,19 @@ func RunTrialJobs(name string, jobs []workload.SubmittedJob, policy Policy, pred
 		tr.ShadowPredictions = lcm.ShadowDecisions
 		tr.CanaryActed = lcm.CanaryActed
 	}
-	if canaryGate != nil {
+	if canaryGate := env.canaryGate; canaryGate != nil {
 		tr.GateEvaluations = canaryGate.Evaluations
 		tr.GateVetoes = canaryGate.Vetoes
 		tr.ThresholdOverrides = canaryGate.ThresholdOverrides
 	}
-	if traceBuf != nil {
-		if err := tracer.Err(); err != nil {
+	if env.traceBuf != nil {
+		if err := env.tracer.Flush(); err != nil {
 			return nil, fmt.Errorf("experiments: trace: %w", err)
 		}
-		tr.Trace = traceBuf.Bytes()
+		tr.Trace = env.traceBuf.Bytes()
 	}
-	if reg != nil {
-		tr.Metrics = reg.Snapshot()
+	if env.reg != nil {
+		tr.Metrics = env.reg.Snapshot()
 	}
 	return tr, nil
 }

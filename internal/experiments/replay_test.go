@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rush/internal/workload"
+)
+
+// replayFixture loads the archive-style SWF excerpt the workload package
+// uses for its loader differentials.
+func replayFixture(t *testing.T) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "workload", "testdata", "excerpt.swf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fixtureJobs converts the fixture through the in-memory reference
+// loader.
+func fixtureJobs(t *testing.T, opts workload.SWFOptions) []workload.SubmittedJob {
+	t.Helper()
+	trace, err := workload.ParseSWF(bytes.NewReader(replayFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.FromSWF(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestReplayStreamingMatchesInMemory is the tentpole differential: a
+// replay fed lazily from SWF bytes must be bit-identical — trace bytes
+// and all aggregates — to one fed from the fully materialized job
+// slice, across seeds and intra-trial worker counts.
+func TestReplayStreamingMatchesInMemory(t *testing.T) {
+	raw := replayFixture(t)
+	for _, seed := range []int64{1, 2, 3} {
+		for _, workers := range []int{1, 8} {
+			opts := workload.SWFOptions{Seed: seed}
+			cfg := Config{Trace: true, Metrics: true, EngineWorkers: workers}
+
+			streamed, err := ReplayStream("swf-stream", workload.NewSWFStream(bytes.NewReader(raw), opts),
+				Baseline, nil, seed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inMemory, err := ReplayStream("swf-stream", workload.NewSliceStream(fixtureJobs(t, opts)),
+				Baseline, nil, seed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(streamed.Trace, inMemory.Trace) {
+				t.Fatalf("seed %d workers %d: streaming and in-memory traces differ", seed, workers)
+			}
+			sd, md := *streamed, *inMemory
+			sd.Trace, md.Trace = nil, nil
+			sd.Metrics, md.Metrics = nil, nil
+			if !reflect.DeepEqual(sd, md) {
+				t.Fatalf("seed %d workers %d: summaries differ:\n stream %+v\n memory %+v", seed, workers, sd, md)
+			}
+		}
+	}
+}
+
+// TestReplayMatchesEagerDriver pins the front-band feeder design: the
+// streaming driver must reproduce the eager driver's trace byte for
+// byte, even though its submissions are injected mid-run by a re-armed
+// event instead of being pre-queued. Any tie-break divergence between
+// a lazily fed submission and a simulation event at the same instant
+// shows up here.
+func TestReplayMatchesEagerDriver(t *testing.T) {
+	for _, seed := range []int64{1, 2, 5} {
+		jobs := fixtureJobs(t, workload.SWFOptions{Seed: seed})
+		// The fixture's longest job runs ~7.2 simulated hours; give the
+		// eager driver headroom past its 6h default.
+		cfg := Config{Trace: true, MaxSimTime: 48 * 3600}
+
+		trial, err := RunTrialJobs("swf-replay", jobs, Baseline, nil, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := ReplayStream("swf-replay", workload.NewSliceStream(jobs), Baseline, nil, seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(trial.Trace, sum.Trace) {
+			t.Fatalf("seed %d: streaming trace diverges from eager driver's:\n%s", seed,
+				firstTraceDiff(trial.Trace, sum.Trace))
+		}
+		if sum.Jobs != len(trial.Jobs) || sum.FailedJobs != trial.FailedJobs {
+			t.Fatalf("seed %d: job counts differ: %d/%d vs %d/%d",
+				seed, sum.Jobs, sum.FailedJobs, len(trial.Jobs), trial.FailedJobs)
+		}
+		if math.Abs(sum.Makespan-trial.Makespan) > 1e-9 {
+			t.Fatalf("seed %d: makespan %v vs %v", seed, sum.Makespan, trial.Makespan)
+		}
+		// The streaming aggregates must agree with recomputing them from
+		// the eager driver's records.
+		var wait Welford
+		for _, r := range trial.Jobs {
+			if !r.Failed {
+				wait.Add(r.Wait)
+			}
+		}
+		if math.Abs(sum.Wait.Mean-wait.Mean) > 1e-9 || sum.Wait.N != wait.N {
+			t.Fatalf("seed %d: wait aggregate %v/%d vs %v/%d",
+				seed, sum.Wait.Mean, sum.Wait.N, wait.Mean, wait.N)
+		}
+	}
+}
+
+// TestReplayPruningDifferential pins the retention contract: pruning
+// exists purely to bound memory, so keeping extra telemetry history
+// must not change a single event. (The prune cadence itself stays
+// fixed — prune events share the engine's sequence counter, so a
+// different interval legitimately relabels event ties.)
+func TestReplayPruningDifferential(t *testing.T) {
+	raw := replayFixture(t)
+	run := func(keep float64) []byte {
+		sum, err := ReplayStream("swf-prune",
+			workload.NewSWFStream(bytes.NewReader(raw), workload.SWFOptions{Seed: 4}),
+			Baseline, nil, 4, Config{Trace: true, PruneKeep: keep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.Trace
+	}
+	tight := run(0)              // default: 3 windows
+	wide := run(100 * 24 * 3600) // effectively unpruned
+	if !bytes.Equal(tight, wide) {
+		t.Fatalf("retention width changed the schedule:\n%s", firstTraceDiff(tight, wide))
+	}
+}
+
+// TestReplayHeapSampling checks the MemSample plumbing end to end: the
+// gauges exist in the snapshot and the summary carries a peak.
+func TestReplayHeapSampling(t *testing.T) {
+	raw := replayFixture(t)
+	sum, err := ReplayStream("swf-mem",
+		workload.NewSWFStream(bytes.NewReader(raw), workload.SWFOptions{Seed: 1}),
+		Baseline, nil, 1, Config{Metrics: true, MemSample: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.PeakHeapBytes == 0 {
+		t.Fatal("heap sampler never ran")
+	}
+	found := map[string]bool{}
+	for _, g := range sum.Metrics.Gauges {
+		found[g.Name] = true
+	}
+	if !found["sim_heap_inuse"] || !found["replay_peak_rss"] {
+		t.Fatalf("memory gauges missing from snapshot: %+v", sum.Metrics.Gauges)
+	}
+}
+
+// TestReplayCanaryPolicy exercises the gated path (no predictor needed)
+// through the streaming driver and checks gate counters surface.
+func TestReplayCanaryPolicy(t *testing.T) {
+	raw := replayFixture(t)
+	sum, err := ReplayStream("swf-canary",
+		workload.NewSWFStream(bytes.NewReader(raw), workload.SWFOptions{Seed: 2}),
+		Canary, nil, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GateEvaluations == 0 {
+		t.Fatal("canary gate never consulted")
+	}
+	if sum.Jobs != sum.Submitted {
+		t.Fatalf("drain incomplete: %d/%d", sum.Jobs, sum.Submitted)
+	}
+}
+
+// firstTraceDiff renders the first differing line of two JSONL traces.
+func firstTraceDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\n a: " + al[i] + "\n b: " + bl[i]
+		}
+	}
+	return "traces differ in length: " + itoa(len(al)) + " vs " + itoa(len(bl)) + " lines"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

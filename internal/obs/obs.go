@@ -175,17 +175,33 @@ type Event struct {
 }
 
 // Tracer encodes events as deterministic JSONL: one object per line,
-// fixed key order, '%g'-style float formatting. Write errors are sticky
-// — the first one stops all further output and surfaces via Err.
+// fixed key order, '%g'-style float formatting. Events are encoded into
+// a pooled append buffer; a plain tracer hands each line to the writer
+// as it is produced, while a batched tracer (NewBatchedTracer)
+// accumulates ~64 KiB between writes so a million-event replay costs
+// dozens of writes instead of millions — the bytes produced are
+// identical either way. Write errors are sticky — the first one stops
+// all further output and surfaces via Err.
 type Tracer struct {
-	w   io.Writer
-	buf []byte
-	err error
+	w     io.Writer
+	buf   []byte
+	batch int // flush threshold in bytes; 0 flushes every event
+	err   error
 }
 
-// NewTracer returns a tracer writing JSONL to w.
+// tracerBatchBytes is the batched tracer's flush threshold.
+const tracerBatchBytes = 64 * 1024
+
+// NewTracer returns a tracer writing JSONL to w, one write per event.
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, buf: make([]byte, 0, 256)}
+}
+
+// NewBatchedTracer returns a tracer that accumulates encoded events and
+// writes them to w in ~64 KiB batches. Callers must Flush when the run
+// ends (and check its error) or the tail of the trace is lost.
+func NewBatchedTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, buf: make([]byte, 0, tracerBatchBytes+512), batch: tracerBatchBytes}
 }
 
 // Err returns the first write error, or nil.
@@ -196,12 +212,32 @@ func (t *Tracer) Err() error {
 	return t.err
 }
 
+// Flush writes any batched events through to the writer and returns the
+// tracer's sticky error. Safe on nil and unbatched tracers.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.flush()
+	return t.err
+}
+
+func (t *Tracer) flush() {
+	if t.err != nil || len(t.buf) == 0 {
+		return
+	}
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+	t.buf = t.buf[:0]
+}
+
 // Emit encodes and writes one event. Nil tracers drop the event.
 func (t *Tracer) Emit(ev *Event) {
 	if t == nil || t.err != nil {
 		return
 	}
-	b := t.buf[:0]
+	b := t.buf
 	b = append(b, `{"t":`...)
 	b = appendFloat(b, ev.Time)
 	b = append(b, `,"kind":`...)
@@ -271,8 +307,8 @@ func (t *Tracer) Emit(ev *Event) {
 	}
 	b = append(b, '}', '\n')
 	t.buf = b
-	if _, err := t.w.Write(b); err != nil {
-		t.err = err
+	if len(t.buf) >= t.batch {
+		t.flush()
 	}
 }
 

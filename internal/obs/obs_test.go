@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,61 @@ func TestTracerDeterministicBytes(t *testing.T) {
 	if !bytes.Equal(run(), run()) {
 		t.Fatal("identical event streams must encode to identical bytes")
 	}
+}
+
+// TestBatchedTracerMatchesPlain pins the batching contract: a batched
+// tracer produces byte-identical output to a per-event tracer, in far
+// fewer writes, and only after Flush is the tail guaranteed on the
+// writer.
+func TestBatchedTracerMatchesPlain(t *testing.T) {
+	emit := func(tr *Tracer) {
+		for i := 0; i < 2000; i++ {
+			tr.Emit(&Event{Time: float64(i) * 0.5, Kind: KindSubmit, Job: i, App: "AMG", Nodes: 4})
+			tr.Emit(&Event{Time: float64(i)*0.5 + 0.1, Kind: KindFinish, Job: i, App: "AMG", Nodes: 4, Runtime: 12.5})
+		}
+	}
+	var plain bytes.Buffer
+	emit(NewTracer(&plain))
+
+	var batched bytes.Buffer
+	cw := &countWriter{w: &batched}
+	tr := NewBatchedTracer(cw)
+	emit(tr)
+	if len(batched.Bytes()) == len(plain.Bytes()) {
+		t.Fatal("batched tracer should still be holding a partial batch before Flush")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), batched.Bytes()) {
+		t.Fatal("batched and per-event tracers must produce identical bytes")
+	}
+	if cw.n >= 4000 {
+		t.Fatalf("batched tracer issued %d writes for 4000 events", cw.n)
+	}
+}
+
+// TestBatchedTracerErrorSurfacesOnFlush checks a deferred write error is
+// sticky and reported by Flush.
+func TestBatchedTracerErrorSurfacesOnFlush(t *testing.T) {
+	tr := NewBatchedTracer(&failWriter{})
+	tr.Emit(&Event{Kind: KindSubmit})
+	if err := tr.Flush(); err == nil {
+		t.Fatal("flush must surface the write error")
+	}
+	if tr.Err() == nil {
+		t.Fatal("error must be sticky")
+	}
+}
+
+type countWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n++
+	return c.w.Write(p)
 }
 
 type failWriter struct{ n int }

@@ -330,9 +330,18 @@ type Scheduler struct {
 	// the toggle exists for those tests and the deep-queue benchmarks.
 	DisableFastPath bool
 
-	queue     []*Job
-	running   []*Job
-	completed []*Job
+	queue      []*Job
+	running    []*Job
+	completed  []*Job
+	nCompleted int
+
+	// DiscardCompleted drops finished jobs instead of retaining them in
+	// the completion list: they are still counted (CompletedCount),
+	// metered, traced, and handed to OnComplete, but Completed stays
+	// empty. Long-horizon replays set this — a million-job year must not
+	// accumulate a million *Job records — and consume per-job results
+	// through OnComplete instead.
+	DiscardCompleted bool
 
 	// Fast-path state: tl mirrors the running set's release breakpoints
 	// (see timeline.go); q2 is the queue in backfill-candidate order with
@@ -404,8 +413,13 @@ func (s *Scheduler) QueueLen() int { return len(s.queue) }
 // RunningLen returns the number of executing jobs.
 func (s *Scheduler) RunningLen() int { return len(s.running) }
 
-// Completed returns the finished jobs in completion order.
+// Completed returns the finished jobs in completion order (empty when
+// DiscardCompleted is set).
 func (s *Scheduler) Completed() []*Job { return s.completed }
+
+// CompletedCount returns how many jobs have finished (including failed
+// ones), whether or not they were retained.
+func (s *Scheduler) CompletedCount() int { return s.nCompleted }
 
 // GateName returns the active gate's name (for reports).
 func (s *Scheduler) GateName() string { return s.gt.Name() }
@@ -490,7 +504,7 @@ func (s *Scheduler) Pass() error {
 		// pass even though the state keeps changing (noise phases,
 		// external allocations like the noise job releasing nodes).
 		s.retryArmed = true
-		s.m.Eng.Schedule(s.RetryInterval, func() {
+		s.m.Eng.ScheduleOnce(s.RetryInterval, func() {
 			s.retryArmed = false
 			s.Pass()
 		})
@@ -778,7 +792,10 @@ func (s *Scheduler) removeQueued(j *Job) {
 func (s *Scheduler) finish(j *Job) {
 	j.EndTime = s.m.Eng.Now()
 	s.removeRunning(j)
-	s.completed = append(s.completed, j)
+	if !s.DiscardCompleted {
+		s.completed = append(s.completed, j)
+	}
+	s.nCompleted++
 	s.met.finished.Inc()
 	s.met.runHist.Observe(j.RunTime())
 	if s.obs != nil {
@@ -803,7 +820,10 @@ func (s *Scheduler) requeue(j *Job) {
 	if j.Retries > j.RetryLimit() {
 		j.Failed = true
 		j.EndTime = now
-		s.completed = append(s.completed, j)
+		if !s.DiscardCompleted {
+			s.completed = append(s.completed, j)
+		}
+		s.nCompleted++
 		s.met.failed.Inc()
 		if s.obs != nil {
 			s.obs.Emit(obs.Event{Time: now, Kind: obs.KindJobFailed, Job: j.ID, Retries: j.Retries})
@@ -829,7 +849,7 @@ func (s *Scheduler) requeue(j *Job) {
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{Time: now, Kind: obs.KindRequeue, Job: j.ID, Retries: j.Retries, Delay: delay})
 	}
-	s.m.Eng.Schedule(delay, func() {
+	s.m.Eng.ScheduleOnce(delay, func() {
 		j.queuedAt = s.m.Eng.Now()
 		s.enqueue(j)
 		s.Pass()

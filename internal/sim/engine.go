@@ -7,10 +7,16 @@
 // of the simulator draw from random sources derived from the engine seed
 // (see rand.go), which makes whole-cluster experiments repeatable
 // bit-for-bit.
+//
+// The queue is an inline index-aware 4-ary min-heap (see heap.go): no
+// interface boxing, and Rearm re-times a queued event with one in-place
+// O(log n) sift, so the per-event bookkeeping that bounds long-horizon
+// replays is a handful of pointer moves. Fire-and-forget callbacks can
+// additionally be pooled with ScheduleOnce, which recycles the event
+// allocation after the callback runs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -28,43 +34,12 @@ type Event struct {
 	seq       uint64 // tie-breaker: events at equal time fire in schedule order
 	index     int    // position in the heap, -1 when not queued
 	cancelled bool
+	front     bool // front band: fires before normal events at equal time
+	pooled    bool // recycled into the engine freelist after firing
 }
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.cancelled }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
 
 // Engine is a discrete-event simulator. The zero value is not usable; use
 // New.
@@ -74,6 +49,7 @@ type Engine struct {
 	events eventHeap
 	rng    *Source
 	fired  uint64
+	free   []*Event // ScheduleOnce freelist
 
 	cScheduled *obs.Counter
 	cFired     *obs.Counter
@@ -115,15 +91,63 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	return e.At(e.now+delay, fn)
 }
 
+// ScheduleOnce registers fn to run delay seconds from now on a pooled
+// event: the Event is recycled into an engine-owned freelist right after
+// the callback returns, so steady-state fire-and-forget timers allocate
+// nothing. No handle is returned — a pooled event cannot be cancelled or
+// rearmed. Timing and tie-break behaviour are exactly Schedule's.
+func (e *Engine) ScheduleOnce(delay float64, fn func()) {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("sim: invalid schedule delay %v at t=%v", delay, e.now))
+	}
+	ev := e.newEvent()
+	ev.Time = e.now + delay
+	ev.Fn = fn
+	ev.seq = e.seq
+	e.seq++
+	ev.pooled = true
+	e.events.push(ev)
+	e.cScheduled.Inc()
+}
+
+// newEvent returns a zeroed event, recycled from the ScheduleOnce
+// freelist when one is available.
+func (e *Engine) newEvent() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
 // At registers fn to run at absolute virtual time t, which must not be in
 // the past.
 func (e *Engine) At(t float64, fn func()) *Event {
+	return e.at(t, fn, false)
+}
+
+// AtFront registers fn to run at absolute virtual time t in the front
+// band: among events at the same instant, front events fire before every
+// normally scheduled one (front events order among themselves by
+// schedule order as usual). The band exists for streaming workload
+// feeders — a feeder re-armed mid-run must still deliver submissions at
+// time t ahead of simulation events that were scheduled earlier for the
+// same t, reproducing exactly the order an eager driver that pre-queued
+// every submission before the run would have produced. Rearm preserves
+// the band.
+func (e *Engine) AtFront(t float64, fn func()) *Event {
+	return e.at(t, fn, true)
+}
+
+func (e *Engine) at(t float64, fn func(), front bool) *Event {
 	if math.IsNaN(t) || t < e.now {
 		panic(fmt.Sprintf("sim: schedule into the past: t=%v now=%v", t, e.now))
 	}
-	ev := &Event{Time: t, Fn: fn, seq: e.seq}
+	ev := &Event{Time: t, Fn: fn, seq: e.seq, front: front}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	e.cScheduled.Inc()
 	return ev
 }
@@ -132,10 +156,12 @@ func (e *Engine) At(t float64, fn func()) *Event {
 // be in the past. It is equivalent to Cancel(ev) followed by
 // At(t, ev.Fn) — the event receives a fresh sequence number, so its
 // tie-break position among same-time events is exactly as if it had
-// been newly scheduled — but reuses ev's allocation. Rearm works on
+// been newly scheduled — but reuses ev's allocation; a queued event is
+// re-sifted in place (O(log n), no pop/push pair). Rearm works on
 // queued, cancelled, and already-fired events alike, which lets a
-// long-lived process (a job's completion event, a periodic sampler)
-// drive the whole simulation from a single Event value.
+// long-lived process (a job's completion event, a periodic sampler, a
+// streaming submission feeder) drive the whole simulation from a single
+// Event value. The event keeps its band (At vs AtFront).
 func (e *Engine) Rearm(ev *Event, t float64) {
 	if math.IsNaN(t) || t < e.now {
 		panic(fmt.Sprintf("sim: rearm into the past: t=%v now=%v", t, e.now))
@@ -145,9 +171,9 @@ func (e *Engine) Rearm(ev *Event, t float64) {
 	e.seq++
 	ev.cancelled = false
 	if ev.index >= 0 {
-		heap.Fix(&e.events, ev.index)
+		e.events.fix(ev.index)
 	} else {
-		heap.Push(&e.events, ev)
+		e.events.push(ev)
 	}
 	e.cScheduled.Inc()
 }
@@ -160,8 +186,7 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	ev.cancelled = true
 	if ev.index >= 0 {
-		heap.Remove(&e.events, ev.index)
-		ev.index = -1
+		e.events.remove(ev.index)
 	}
 }
 
@@ -169,14 +194,22 @@ func (e *Engine) Cancel(ev *Event) {
 // no events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.events.popMin()
 		if ev.cancelled {
 			continue
 		}
 		e.now = ev.Time
 		e.fired++
 		e.cFired.Inc()
-		ev.Fn()
+		fn := ev.Fn
+		if ev.pooled {
+			// Recycle before the callback runs so fn can immediately
+			// reuse the slot for its own ScheduleOnce; the event carries
+			// no state the callback could observe.
+			*ev = Event{}
+			e.free = append(e.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -206,7 +239,7 @@ func (e *Engine) RunUntil(t float64) {
 func (e *Engine) peek() *Event {
 	for len(e.events) > 0 {
 		if e.events[0].cancelled {
-			heap.Pop(&e.events)
+			e.events.popMin()
 			continue
 		}
 		return e.events[0]

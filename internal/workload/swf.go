@@ -17,10 +17,26 @@ import (
 // lets RUSH replay real cluster traces instead of the synthetic Table II
 // streams, and lets simulation results feed standard analysis tools.
 //
-// Each SWF record is 18 whitespace-separated fields; missing values are
-// -1. Comment lines start with ';'.
+// Each SWF record is 18 whitespace-separated fields; unknown values are
+// -1 and comment lines start with ';'. Two loaders exist: ParseSWF /
+// FromSWF build the whole trace in memory (the differential reference),
+// and SWFScanner / NewSWFStream in stream.go yield records lazily off an
+// io.Reader so a year-scale trace never has to fit in memory. Both paths
+// interpret records through the same code (interpretSWF, swfConverter),
+// so they produce identical job streams by construction — pinned by the
+// differential tests in stream_test.go.
 
-// SWFJob is one record of an SWF trace.
+// swfFields is the SWF record width: 18 whitespace-separated values.
+const swfFields = 18
+
+// swfMinFields is the shortest record the hardened parser accepts: at
+// least job number, submit time, wait time, and run time must be
+// present. Shorter data lines are malformed, not merely incomplete, and
+// surface as line-numbered errors.
+const swfMinFields = 4
+
+// SWFJob is one record of an SWF trace. Unknown fields hold -1, as in
+// the archive format itself.
 type SWFJob struct {
 	ID           int
 	Submit       float64 // seconds since trace start
@@ -42,9 +58,49 @@ type SWFJob struct {
 	ThinkTime    float64
 }
 
-// ParseSWF reads an SWF trace. Header comments are skipped; records with
-// missing run time or processor counts are dropped (they cannot be
-// replayed).
+// interpretSWF maps the 18 parsed field values onto a record, applying
+// the SWF spec's "-1 means unknown" defaults where a sane substitute
+// exists: an unknown allocated-processor count falls back to the
+// requested count (and vice versa), and an unknown submit time clamps to
+// the trace start. Both the in-memory and the streaming loader build
+// records through this one function.
+func interpretSWF(fv *[swfFields]float64) SWFJob {
+	j := SWFJob{
+		ID: int(fv[0]), Submit: fv[1], Wait: fv[2], RunTime: fv[3],
+		Procs: int(fv[4]), AvgCPU: fv[5], UsedMem: fv[6],
+		ReqProcs: int(fv[7]), ReqTime: fv[8], ReqMem: fv[9],
+		Status: int(fv[10]), UserID: int(fv[11]), GroupID: int(fv[12]),
+		ExecutableID: int(fv[13]), QueueID: int(fv[14]), PartitionID: int(fv[15]),
+		PrecedingJob: int(fv[16]), ThinkTime: fv[17],
+	}
+	if j.Procs <= 0 && j.ReqProcs > 0 {
+		j.Procs = j.ReqProcs
+	}
+	if j.ReqProcs <= 0 && j.Procs > 0 {
+		j.ReqProcs = j.Procs
+	}
+	if j.Submit < 0 {
+		j.Submit = 0
+	}
+	return j
+}
+
+// replayableSWF reports whether a record can drive the simulator: it
+// needs a positive run time (cancelled or corrupt records have -1 or 0)
+// and a positive processor count after the -1 defaults were applied.
+// Unreplayable records are skipped — both loaders count them so callers
+// can report how much of a trace was usable.
+func replayableSWF(j SWFJob) bool {
+	return j.RunTime > 0 && j.Procs > 0
+}
+
+// ParseSWF reads a whole SWF trace into memory. Header comments and
+// blank lines are skipped; short data lines are padded with -1 (unknown)
+// per the archive convention provided at least the first four fields are
+// present; malformed lines surface as line-numbered errors. Records that
+// cannot be replayed (no positive run time or processor count) are
+// dropped. It is the slice-building reference the streaming loader in
+// stream.go is differenced against.
 func ParseSWF(r io.Reader) ([]SWFJob, error) {
 	var jobs []SWFJob
 	sc := bufio.NewScanner(r)
@@ -57,10 +113,13 @@ func ParseSWF(r io.Reader) ([]SWFJob, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 18 {
-			return nil, fmt.Errorf("workload: swf line %d: %d fields, want 18", line, len(fields))
+		if len(fields) < swfMinFields || len(fields) > swfFields {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want %d-%d", line, len(fields), swfMinFields, swfFields)
 		}
-		fv := make([]float64, 18)
+		var fv [swfFields]float64
+		for i := range fv {
+			fv[i] = -1
+		}
 		for i, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
@@ -68,22 +127,9 @@ func ParseSWF(r io.Reader) ([]SWFJob, error) {
 			}
 			fv[i] = v
 		}
-		j := SWFJob{
-			ID: int(fv[0]), Submit: fv[1], Wait: fv[2], RunTime: fv[3],
-			Procs: int(fv[4]), AvgCPU: fv[5], UsedMem: fv[6],
-			ReqProcs: int(fv[7]), ReqTime: fv[8], ReqMem: fv[9],
-			Status: int(fv[10]), UserID: int(fv[11]), GroupID: int(fv[12]),
-			ExecutableID: int(fv[13]), QueueID: int(fv[14]), PartitionID: int(fv[15]),
-			PrecedingJob: int(fv[16]), ThinkTime: fv[17],
-		}
-		if j.RunTime <= 0 {
-			continue // cancelled or corrupt record
-		}
-		if j.Procs <= 0 {
-			if j.ReqProcs <= 0 {
-				continue
-			}
-			j.Procs = j.ReqProcs
+		j := interpretSWF(&fv)
+		if !replayableSWF(j) {
+			continue
 		}
 		jobs = append(jobs, j)
 	}
@@ -116,52 +162,100 @@ func (o *SWFOptions) fill() {
 	}
 }
 
+// swfConverter turns SWF records into submittable jobs, one at a time.
+// It carries the state the conversion needs across records — the trace
+// start offset, the application-assignment random stream, the emitted-
+// job count, and the monotonic submit clamp — so the in-memory loader
+// (FromSWF) and the lazy stream (NewSWFStream) run the identical
+// per-record code and therefore produce identical job streams.
+type swfConverter struct {
+	opts     SWFOptions
+	profiles []apps.Profile
+	rng      *sim.Source
+	started  bool
+	t0       float64
+	lastAt   float64
+	n        int
+}
+
+func newSWFConverter(opts SWFOptions) *swfConverter {
+	opts.fill()
+	return &swfConverter{
+		opts:     opts,
+		profiles: apps.Defaults(),
+		rng:      sim.NewSource(opts.Seed).Derive("swf"),
+	}
+}
+
+// done reports whether the MaxJobs truncation point has been reached.
+func (c *swfConverter) done() bool {
+	return c.opts.MaxJobs > 0 && c.n >= c.opts.MaxJobs
+}
+
+// convert maps one record to a submittable job. ok is false when the
+// record is dropped (larger than the simulated machine). Submit times
+// are offset from the first record's and clamped monotonically
+// non-decreasing — archive traces are submit-ordered, but a clamped
+// stream is what lets the replay feeder deliver jobs lazily without
+// scheduling into the past.
+func (c *swfConverter) convert(sj SWFJob) (SubmittedJob, bool) {
+	if !c.started {
+		c.started = true
+		c.t0 = sj.Submit
+	}
+	nodes := (sj.Procs + c.opts.CoresPerNode - 1) / c.opts.CoresPerNode
+	if nodes < 1 {
+		nodes = 1
+	}
+	if nodes > c.opts.MaxNodes {
+		return SubmittedJob{}, false
+	}
+	// Stable application assignment: same executable -> same profile.
+	var profile apps.Profile
+	if sj.ExecutableID > 0 {
+		profile = c.profiles[sj.ExecutableID%len(c.profiles)]
+	} else {
+		profile = c.profiles[c.rng.Intn(len(c.profiles))]
+	}
+	estimate := sj.ReqTime
+	if estimate <= 0 || estimate < sj.RunTime {
+		estimate = sj.RunTime * 1.5
+	}
+	at := sj.Submit - c.t0
+	if at < c.lastAt {
+		at = c.lastAt
+	}
+	c.lastAt = at
+	out := SubmittedJob{
+		Job: &sched.Job{
+			ID:       c.n,
+			App:      profile,
+			Nodes:    nodes,
+			BaseWork: sj.RunTime,
+			Estimate: estimate,
+		},
+		SubmitAt: at,
+	}
+	c.n++
+	return out, true
+}
+
 // FromSWF converts an SWF trace into a submittable job stream. Run times
 // become contention-free base work; requested times become the
 // backfiller's estimates (falling back to 1.5x the run time when absent);
 // each job is assigned a proxy-application profile keyed on its SWF
 // executable ID so re-runs of the same executable share a profile.
+// Submit times are offset from the first record's and clamped monotonic.
 func FromSWF(trace []SWFJob, opts SWFOptions) ([]SubmittedJob, error) {
-	opts.fill()
-	profiles := apps.Defaults()
-	rng := sim.NewSource(opts.Seed).Derive("swf")
+	conv := newSWFConverter(opts)
 	var out []SubmittedJob
-	var t0 float64
-	for i, sj := range trace {
-		if opts.MaxJobs > 0 && len(out) >= opts.MaxJobs {
+	for _, sj := range trace {
+		if conv.done() {
 			break
 		}
-		if i == 0 {
-			t0 = sj.Submit
+		if j, ok := conv.convert(sj); ok {
+			out = append(out, j)
 		}
-		nodes := (sj.Procs + opts.CoresPerNode - 1) / opts.CoresPerNode
-		if nodes < 1 {
-			nodes = 1
-		}
-		if nodes > opts.MaxNodes {
-			continue
-		}
-		// Stable application assignment: same executable -> same profile.
-		var profile apps.Profile
-		if sj.ExecutableID > 0 {
-			profile = profiles[sj.ExecutableID%len(profiles)]
-		} else {
-			profile = profiles[rng.Intn(len(profiles))]
-		}
-		estimate := sj.ReqTime
-		if estimate <= 0 || estimate < sj.RunTime {
-			estimate = sj.RunTime * 1.5
-		}
-		out = append(out, SubmittedJob{
-			Job: &sched.Job{
-				ID:       len(out),
-				App:      profile,
-				Nodes:    nodes,
-				BaseWork: sj.RunTime,
-				Estimate: estimate,
-			},
-			SubmitAt: sj.Submit - t0,
-		})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("workload: swf trace contains no replayable jobs")

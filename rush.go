@@ -267,6 +267,35 @@ func RunExperiment(spec ExperimentSpec, pred *Predictor, trials int, baseSeed in
 // DefaultTrials is the paper's per-policy repetition count.
 const DefaultTrials = experiments.DefaultTrials
 
+// Long-horizon SWF replay: stream a Parallel-Workloads-Archive trace
+// through the simulator in bounded memory.
+type (
+	// SWFOptions controls how an SWF trace maps onto the simulator.
+	SWFOptions = workload.SWFOptions
+	// JobStream yields submittable jobs lazily in submit order.
+	JobStream = workload.JobStream
+	// ReplaySummary is a streaming replay's O(1)-size result.
+	ReplaySummary = experiments.ReplaySummary
+	// Welford is the streaming mean/variance/max accumulator used by
+	// ReplaySummary's per-job aggregates.
+	Welford = experiments.Welford
+)
+
+// NewSWFStream returns a lazy job stream reading SWF records from r.
+func NewSWFStream(r io.Reader, opts SWFOptions) JobStream { return workload.NewSWFStream(r, opts) }
+
+// OpenSWF opens an SWF trace file for streaming, transparently wrapping
+// gzip when the path ends in ".gz".
+func OpenSWF(path string) (io.ReadCloser, error) { return workload.OpenSWF(path) }
+
+// ReplayStream executes a lazily produced job stream under one policy,
+// keeping memory bounded regardless of trace length: jobs feed in
+// through a single re-armed event, completions fold into streaming
+// aggregates, and telemetry history is pruned to a rolling window.
+func ReplayStream(name string, stream JobStream, policy Policy, pred *Predictor, seed int64, cfg ExperimentConfig) (*ReplaySummary, error) {
+	return experiments.ReplayStream(name, stream, policy, pred, seed, cfg)
+}
+
 // Workers resolves a requested worker count the way every Workers
 // config field and -workers flag does: n when positive, otherwise
 // runtime.GOMAXPROCS(0).
@@ -334,6 +363,11 @@ type (
 
 // NewTracer returns a tracer writing deterministic JSONL to w.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewBatchedTracer returns a tracer that buffers encoded events and
+// writes them to w in large batches; call Flush before reading the
+// output. The byte stream is identical to NewTracer's.
+func NewBatchedTracer(w io.Writer) *Tracer { return obs.NewBatchedTracer(w) }
 
 // NewMetricsRegistry returns an empty per-trial metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
